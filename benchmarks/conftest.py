@@ -1,0 +1,51 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+relevant (dataset, defense) cells through the harness, prints the
+paper-reported values next to the measured ones, writes the table to
+``results/``, and asserts the reproduction *shape* (who wins, roughly
+by how much).  Cells are memoized per session so figures that share
+runs (Fig. 6 and Fig. 7, for instance) pay for them once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+class CellCache:
+    """Memoizes harness runs keyed by their full parameterization."""
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple, ExperimentResult] = {}
+
+    def get(self, dataset: str, defense: str, **kwargs) -> ExperimentResult:
+        key = (dataset, defense,
+               tuple(sorted((k, repr(v)) for k, v in kwargs.items())))
+        if key not in self._cells:
+            self._cells[key] = run_experiment(dataset, defense, **kwargs)
+        return self._cells[key]
+
+
+@pytest.fixture(scope="session")
+def cells() -> CellCache:
+    return CellCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, table: str) -> None:
+    """Print a result table and persist it under results/."""
+    print()
+    print(table)
+    (results_dir / f"{name}.txt").write_text(table + "\n")

@@ -1,0 +1,53 @@
+"""Fig. 11 — ablation: DINAR's adaptive training (Adagrad) vs DINAR
+with Adam / ADGD / AdaMax (Purchase100).
+
+Paper values: Adam 59%, ADGD 59%, AdaMax 60%, DINAR-Adagrad 62%
+accuracy; all variants give the same 50% attack AUC.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.core.dinar import DINAR
+
+#: (label, optimizer, learning rate) — adaptive methods at our scale
+#: need per-family rates; these are each variant's tuned value.
+VARIANTS = [
+    ("w/ Adam", "adam", 0.003),
+    ("w/ ADGD", "adgd", 0.3),
+    ("w/ AdaMax", "adamax", 0.003),
+    ("DINAR (Adagrad)", "adagrad", 0.005),
+]
+
+PAPER_ACC = {"w/ Adam": 59, "w/ ADGD": 59, "w/ AdaMax": 60,
+             "DINAR (Adagrad)": 62}
+
+
+def test_fig11_optimizer_ablation(cells, results_dir, benchmark):
+    def regenerate():
+        return {
+            label: cells.get(
+                "purchase100",
+                DINAR(optimizer=optimizer, lr=lr),
+                attack="yeom")
+            for label, optimizer, lr in VARIANTS
+        }
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for label, *_ in VARIANTS:
+        r = results[label]
+        rows.append([label, PAPER_ACC[label],
+                     f"{100 * r.client_accuracy:.1f}",
+                     f"{100 * r.local_auc:.1f}"])
+    table = format_table(
+        ["variant", "paper acc %", "ours acc %", "ours local AUC %"],
+        rows, title="Fig.11 optimizer ablation - purchase100")
+    emit(results_dir, "fig11_ablation", table)
+
+    # all optimization variants provide the same privacy level (~50%)
+    for label, *_ in VARIANTS:
+        assert results[label].local_auc < 0.58
+    # every variant trains a usable model
+    for label, *_ in VARIANTS:
+        assert results[label].client_accuracy > 0.25

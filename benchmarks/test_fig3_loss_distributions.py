@@ -1,0 +1,57 @@
+"""Fig. 3 — member vs non-member loss distributions under No Defense /
+LDP / CDP / WDP / DINAR (Cifar-10).
+
+Paper shape: without defense the two distributions are clearly
+separated; DP methods bring them together at the cost of frequent high
+losses; DINAR matches the distributions while keeping losses low.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.loss_distribution import loss_distributions
+from repro.bench.reporting import format_table
+
+SCENARIOS = ["none", "ldp", "cdp", "wdp", "dinar"]
+
+
+def test_fig3_loss_distributions(cells, results_dir, benchmark):
+    def regenerate():
+        out = {}
+        for name in SCENARIOS:
+            result = cells.get("cifar10", name, attack="yeom")
+            sim = result.simulation
+            split = sim.split
+            # Fig. 3 looks at the attacked local model of a client.
+            model = sim.transmitted_model(0)
+            members = sim.clients[0].data
+            out[name] = loss_distributions(
+                model, members.x, members.y,
+                split.nonmembers.x, split.nonmembers.y)
+        return out
+
+    dists = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for name in SCENARIOS:
+        d = dists[name]
+        rows.append([
+            name, f"{d.member_mean:.3f}", f"{d.nonmember_mean:.3f}",
+            f"{d.gap:.3f}", f"{d.divergence:.4f}",
+        ])
+    table = format_table(
+        ["defense", "member mean loss", "non-member mean loss",
+         "gap", "JS divergence"],
+        rows, title="Fig.3 loss distributions - cifar10 (local model)")
+    emit(results_dir, "fig3_loss_distributions", table)
+
+    import numpy as np
+
+    none, dinar = dists["none"], dists["dinar"]
+    # no defense: distributions clearly separated
+    assert none.gap > 0.1
+    # DINAR: distributions match (gap near zero)...
+    assert abs(dinar.gap) < none.gap / 2
+    # ...and stay moderate (scale-matched obfuscation keeps the
+    # protected model's outputs in a bounded range), unlike the
+    # orders-of-magnitude-larger losses under heavy CDP noise
+    assert dinar.member_mean < 100
+    assert dinar.member_mean < dists["cdp"].member_mean / 10

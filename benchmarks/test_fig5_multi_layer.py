@@ -1,0 +1,57 @@
+"""Fig. 5 — obfuscating more than one layer (Purchase100, 6+1-layer
+FCNN): privacy is already optimal with a single layer; each additional
+obfuscated layer only costs utility.
+
+Paper values: attack AUC stays at 50% for every set {5}, {4,5}, ...,
+{1..6}; model accuracy decreases monotonically as more layers are
+obfuscated.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.core.dinar import DINAR
+
+#: Layer sets exactly as in Fig. 5 (1-based labels in the paper; the
+#: FCNN's penultimate trainable layer is index 5 here).
+LAYER_SETS = [
+    ("5", 5, ()),
+    ("4-5", 5, (4,)),
+    ("3-4-5", 5, (3, 4)),
+    ("2-3-4-5", 5, (2, 3, 4)),
+    ("1-2-3-4-5", 5, (1, 2, 3, 4)),
+    ("1-2-3-4-5-6", 5, (1, 2, 3, 4, 6)),
+]
+
+PAPER_AUC = [50, 50, 50, 50, 50, 50]
+
+
+def test_fig5_multi_layer(cells, results_dir, benchmark):
+    def regenerate():
+        out = {}
+        for label, p, extra in LAYER_SETS:
+            out[label] = cells.get(
+                "purchase100",
+                DINAR(private_layer=p, extra_layers=extra),
+                attack="yeom")
+        return out
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for (label, *_), paper_auc in zip(LAYER_SETS, PAPER_AUC):
+        r = results[label]
+        rows.append([label, paper_auc, f"{100 * r.local_auc:.1f}",
+                     f"{100 * r.client_accuracy:.1f}"])
+    table = format_table(
+        ["obfuscated layers", "paper AUC", "ours AUC", "ours acc %"],
+        rows, title="Fig.5 multi-layer obfuscation - purchase100")
+    emit(results_dir, "fig5_multi_layer", table)
+
+    # privacy already optimal with one layer; more layers don't help
+    for label, *_ in LAYER_SETS:
+        assert results[label].local_auc < 0.58
+    # more obfuscated layers cost utility: the full set is clearly
+    # worse than the single penultimate layer
+    single = results["5"].client_accuracy
+    full = results["1-2-3-4-5-6"].client_accuracy
+    assert full < single - 0.03

@@ -1,0 +1,69 @@
+"""Fig. 6 — attack AUC for 7 defense scenarios x 6 datasets, against
+both the global model and the clients' local (transmitted) models.
+
+Paper shape to reproduce:
+* No defense leaks (AUC well above 50) wherever the model overfits.
+* DINAR reaches ~50 on BOTH global and local models, everywhere.
+* SA protects local models (~50) but leaves the global model exactly
+  as leaky as no defense.
+* WDP barely helps; DP methods help but inconsistently.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+
+DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
+
+#: Paper-reported attack AUC (%), Fig. 6 (a)-(l).
+PAPER = {
+    "purchase100": {"global": [76, 59, 50, 50, 50, 75, 50],
+                    "local": [78, 75, 50, 50, 55, 50, 50]},
+    "cifar10": {"global": [64, 58, 52, 54, 60, 66, 50],
+                "local": [66, 63, 55, 56, 60, 50, 50]},
+    "cifar100": {"global": [63, 54, 62, 57, 55, 61, 50],
+                 "local": [64, 64, 61, 52, 58, 50, 50]},
+    "speech_commands": {"global": [57, 56, 52, 50, 50, 57, 50],
+                        "local": [58, 56, 51, 50, 55, 50, 50]},
+    "celeba": {"global": [62, 51, 52, 52, 52, 61, 50],
+               "local": [57, 52, 52, 54, 52, 50, 50]},
+    "gtsrb": {"global": [53, 52, 52, 52, 50, 51, 50],
+              "local": [53, 53, 52, 52, 52, 50, 50]},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(PAPER))
+def test_fig6_dataset(dataset, cells, results_dir, benchmark):
+    def regenerate():
+        return {d: cells.get(dataset, d, attack="yeom") for d in DEFENSES}
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for i, name in enumerate(DEFENSES):
+        r = results[name]
+        rows.append([
+            name,
+            PAPER[dataset]["global"][i], f"{100 * r.global_auc:.1f}",
+            PAPER[dataset]["local"][i], f"{100 * r.local_auc:.1f}",
+            f"{100 * r.client_accuracy:.1f}",
+        ])
+    table = format_table(
+        ["defense", "paper g-AUC", "ours g-AUC", "paper l-AUC",
+         "ours l-AUC", "ours acc%"],
+        rows, title=f"Fig.6 privacy matrix - {dataset}")
+    emit(results_dir, f"fig6_{dataset}", table)
+
+    none, dinar, sa = results["none"], results["dinar"], results["sa"]
+    # DINAR reaches (near-)optimal AUC on both sides
+    assert dinar.global_auc < 0.58
+    assert dinar.local_auc < 0.58
+    # DINAR strictly improves on no defense wherever there is a leak
+    if none.local_auc > 0.60:
+        assert dinar.local_auc < none.local_auc
+    # SA: global as leaky as none, local protected
+    assert abs(sa.global_auc - none.global_auc) < 0.03
+    assert sa.local_auc <= none.local_auc + 0.02
+    # DINAR keeps client utility near (or above) the baseline
+    assert dinar.client_accuracy >= none.client_accuracy - 0.05

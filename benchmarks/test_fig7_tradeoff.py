@@ -1,0 +1,50 @@
+"""Fig. 7 — privacy vs utility trade-off for local models, per dataset.
+
+Each defense is one point (accuracy%, attack AUC%); the best corner is
+bottom-right (high accuracy, 50% AUC).  Paper shape: DINAR sits in the
+bottom-right corner on every dataset; DP methods trade accuracy for
+privacy; WDP/GC/SA keep accuracy but leak (SA leaks only globally, so
+its *local* point is protected).
+
+Reuses the Fig. 6 cells.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+
+DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
+DATASETS = ["purchase100", "cifar10", "cifar100", "speech_commands",
+            "celeba", "gtsrb"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_tradeoff(dataset, cells, results_dir, benchmark):
+    def regenerate():
+        return {d: cells.get(dataset, d, attack="yeom") for d in DEFENSES}
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for name in DEFENSES:
+        acc, auc = results[name].privacy_utility()
+        rows.append([name, f"{acc:.1f}", f"{auc:.1f}"])
+    table = format_table(
+        ["defense", "client accuracy %", "local attack AUC %"],
+        rows, title=f"Fig.7 privacy/utility scatter - {dataset}")
+    emit(results_dir, f"fig7_{dataset}", table)
+
+    none = results["none"]
+    dinar = results["dinar"]
+    # DINAR dominates the trade-off: near-optimal AUC at >= baseline-5%
+    # accuracy (the paper's bottom-right corner).
+    assert dinar.local_auc <= none.local_auc + 0.02
+    assert dinar.local_auc < 0.58
+    assert dinar.client_accuracy >= none.client_accuracy - 0.05
+    # DINAR's trade-off beats every DP method's: no DP point has both
+    # better accuracy and better (lower) AUC.
+    for dp in ("ldp", "cdp"):
+        point = results[dp]
+        assert not (point.client_accuracy > dinar.client_accuracy
+                    and point.local_auc < dinar.local_auc)

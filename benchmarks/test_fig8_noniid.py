@@ -1,0 +1,60 @@
+"""Fig. 8 — privacy vs utility under different non-IID settings
+(GTSRB, Dirichlet alpha in {0.8, 2, 5, inf}).
+
+Paper shape: DINAR's protection is independent of the distribution
+(50% everywhere) while keeping the best accuracy among defenses; lower
+alpha (more non-IID) lowers everyone's utility.
+"""
+
+import math
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+
+ALPHAS = [0.8, 2.0, 5.0, math.inf]
+DEFENSES = ["none", "wdp", "cdp", "ldp", "dinar"]
+
+
+def test_fig8_noniid(cells, results_dir, benchmark):
+    def regenerate():
+        out = {}
+        for alpha in ALPHAS:
+            for name in DEFENSES:
+                out[(alpha, name)] = cells.get(
+                    "gtsrb", name, attack="yeom", dirichlet_alpha=alpha)
+        return out
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for alpha in ALPHAS:
+        for name in DEFENSES:
+            r = results[(alpha, name)]
+            rows.append([
+                "inf (IID)" if math.isinf(alpha) else alpha, name,
+                f"{100 * r.client_accuracy:.1f}",
+                f"{100 * r.local_auc:.1f}",
+            ])
+    table = format_table(
+        ["alpha", "defense", "client acc %", "local AUC %"],
+        rows, title="Fig.8 non-IID sweep - gtsrb")
+    emit(results_dir, "fig8_noniid", table)
+
+    # DINAR's protection is independent of the non-IID level
+    for alpha in ALPHAS:
+        assert results[(alpha, "dinar")].local_auc < 0.58
+    # utility: the IID setting is at least as good as the most skewed
+    # one for the undefended model
+    assert results[(math.inf, "none")].client_accuracy \
+        >= results[(0.8, "none")].client_accuracy - 0.02
+    # Among defenses that actually protect (AUC near optimal), DINAR
+    # reaches the best accuracy at every alpha.  WDP is excluded when
+    # it fails to protect — high accuracy at a leaky AUC is not a
+    # competing trade-off point (the paper's Fig. 8 shows the same:
+    # WDP tracks no-defense on both axes).
+    for alpha in ALPHAS:
+        dinar_acc = results[(alpha, "dinar")].client_accuracy
+        for name in ("wdp", "cdp", "ldp"):
+            competitor = results[(alpha, name)]
+            if competitor.local_auc < 0.58:
+                assert dinar_acc >= competitor.client_accuracy - 0.05

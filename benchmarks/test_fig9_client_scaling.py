@@ -1,0 +1,54 @@
+"""Fig. 9 — DINAR under different numbers of FL clients (Purchase100).
+
+Paper shape: fewer clients => more data per client => higher client
+accuracy; DINAR counters the MIA at 50% AUC independently of the
+number of clients.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.harness import default_config
+from repro.bench.reporting import format_table
+from repro.fl.config import FLConfig
+
+CLIENT_COUNTS = [5, 10, 20]
+
+
+def _config(num_clients):
+    base = default_config("purchase100")
+    return FLConfig(num_clients=num_clients, rounds=base.rounds,
+                    local_epochs=base.local_epochs, lr=base.lr,
+                    batch_size=base.batch_size, seed=base.seed,
+                    eval_every=base.rounds)
+
+
+def test_fig9_client_scaling(cells, results_dir, benchmark):
+    def regenerate():
+        out = {}
+        for n in CLIENT_COUNTS:
+            for name in ("none", "dinar"):
+                out[(n, name)] = cells.get(
+                    "purchase100", name, attack="yeom",
+                    config=_config(n))
+        return out
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for n in CLIENT_COUNTS:
+        for name in ("none", "dinar"):
+            r = results[(n, name)]
+            rows.append([n, name, f"{100 * r.local_auc:.1f}",
+                         f"{100 * r.client_accuracy:.1f}"])
+    table = format_table(
+        ["clients", "defense", "local AUC %", "client acc %"],
+        rows, title="Fig.9 client-count sweep - purchase100")
+    emit(results_dir, "fig9_clients", table)
+
+    # DINAR counters the MIA independently of the client count
+    for n in CLIENT_COUNTS:
+        assert results[(n, "dinar")].local_auc < 0.58
+    # fewer clients => more data each => higher accuracy (both arms)
+    for name in ("none", "dinar"):
+        accs = [results[(n, name)].client_accuracy
+                for n in CLIENT_COUNTS]
+        assert accs[0] > accs[-1]

@@ -1,0 +1,48 @@
+"""Defense shoot-out: compare all seven defense scenarios on one task.
+
+Reproduces a single column of the paper's evaluation interactively:
+for each defense, report attack AUC against the global model and the
+clients' uploads, client model accuracy, and measured costs.
+
+    python examples/defense_shootout.py [dataset]
+
+``dataset`` defaults to cifar10; any of repro.data.available_datasets()
+works.
+"""
+
+import sys
+
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_table
+from repro.data import available_datasets
+
+DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
+
+
+def main(dataset: str = "cifar10") -> None:
+    if dataset not in available_datasets():
+        raise SystemExit(f"unknown dataset {dataset!r}; "
+                         f"pick one of {available_datasets()}")
+    rows = []
+    for defense in DEFENSES:
+        print(f"running {defense} on {dataset}...")
+        result = run_experiment(dataset, defense, attack="yeom")
+        costs = result.costs
+        rows.append([
+            defense,
+            f"{100 * result.global_auc:.1f}",
+            f"{100 * result.local_auc:.1f}",
+            f"{100 * result.client_accuracy:.1f}",
+            f"{costs.train_seconds_per_round:.3f}s",
+            f"{costs.aggregate_seconds_per_round * 1000:.1f}ms",
+        ])
+    print()
+    print(format_table(
+        ["defense", "global AUC %", "local AUC %", "client acc %",
+         "train/round", "aggregate/round"],
+        rows, title=f"Defense comparison on {dataset} "
+                    "(attack AUC: 50% is optimal)"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "cifar10")

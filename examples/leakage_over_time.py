@@ -1,0 +1,63 @@
+"""Watch membership leakage grow round by round — and DINAR stop it.
+
+Runs the same federated task twice, attacking the clients' uploads
+after every round, and prints the two leakage trajectories side by
+side as a text chart.
+
+    python examples/leakage_over_time.py
+"""
+
+import numpy as np
+
+from repro.analysis.leakage_over_time import leakage_over_training
+from repro.bench.harness import make_model_factory
+from repro.core.dinar import DINAR
+from repro.data import load_dataset, split_for_membership
+from repro.fl import FederatedSimulation, FLConfig
+from repro.privacy.attacks.threshold import LossThresholdAttack
+
+ROUNDS = 12
+
+
+def bar(value: float, lo: float = 50.0, hi: float = 90.0,
+        width: int = 36) -> str:
+    """Text bar for an AUC percentage."""
+    filled = int(width * max(0.0, min(1.0, (value - lo) / (hi - lo))))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    dataset = load_dataset("purchase100", 0)
+    split = split_for_membership(dataset, np.random.default_rng((0, 17)))
+    factory = make_model_factory("purchase100")
+    config = FLConfig(num_clients=10, rounds=ROUNDS, local_epochs=3,
+                      lr=0.1, batch_size=64, seed=0, eval_every=ROUNDS)
+    attack = LossThresholdAttack()
+
+    print("running the unprotected federation...")
+    unprotected = leakage_over_training(
+        FederatedSimulation(split, factory, config), attack,
+        max_samples=250)
+    print("running the DINAR-protected federation...")
+    protected = leakage_over_training(
+        FederatedSimulation(split, factory, config, DINAR(lr=0.005)),
+        attack, max_samples=250)
+
+    print()
+    print("attack AUC against client uploads, per round "
+          "(50% = optimal defense)")
+    print(f"{'round':>5s}  {'no defense':>10s} "
+          f"{'':36s}  {'DINAR':>6s}")
+    for base, dinar in zip(unprotected.points, protected.points):
+        print(f"{base.round_index:>5d}  "
+              f"{100 * base.local_auc:>9.1f}% "
+              f"|{bar(100 * base.local_auc)}|  "
+              f"{100 * dinar.local_auc:>5.1f}% "
+              f"|{bar(100 * dinar.local_auc)}|")
+    print()
+    print("every round of unprotected training memorizes the members "
+          "a little harder; DINAR's uploads never expose them.")
+
+
+if __name__ == "__main__":
+    main()

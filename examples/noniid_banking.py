@@ -1,0 +1,49 @@
+"""Non-IID scenario: banks with skewed customer bases (GTSRB-style
+image task repurposed as a document classifier).
+
+Cross-silo participants rarely hold IID data: a regional bank sees a
+skewed slice of customer behaviour.  This example sweeps the Dirichlet
+alpha of the client partition and shows the paper's §5.8 finding:
+DINAR's privacy protection is independent of the skew, while the
+undefended model leaks more the closer the data is to IID (the shadow
+attacker learns better on such data).
+
+    python examples/noniid_banking.py
+"""
+
+import math
+
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_table
+
+ALPHAS = [0.8, 2.0, 5.0, math.inf]
+
+
+def main() -> None:
+    rows = []
+    for alpha in ALPHAS:
+        label = "IID" if math.isinf(alpha) else f"alpha={alpha}"
+        print(f"running {label}...")
+        baseline = run_experiment("gtsrb", "none", attack="yeom",
+                                  dirichlet_alpha=alpha)
+        protected = run_experiment("gtsrb", "dinar", attack="yeom",
+                                   dirichlet_alpha=alpha)
+        rows.append([
+            label,
+            f"{100 * baseline.local_auc:.1f}",
+            f"{100 * protected.local_auc:.1f}",
+            f"{100 * baseline.client_accuracy:.1f}",
+            f"{100 * protected.client_accuracy:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["distribution", "no-defense AUC %", "DINAR AUC %",
+         "no-defense acc %", "DINAR acc %"],
+        rows,
+        title="Privacy and utility across non-IID settings (GTSRB)"))
+    print()
+    print("DINAR holds ~50% attack AUC regardless of the data skew.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Quickstart: protect a federated learning run with DINAR.
+
+Runs the same FL task twice — undefended and protected by DINAR — and
+compares what a membership-inference attacker achieves against each,
+plus what the clients' models are worth.
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_experiment
+
+
+def main() -> None:
+    print("Training an undefended FL model (Purchase100 stand-in)...")
+    baseline = quick_experiment("purchase100", "none", attack="yeom")
+
+    print("Training the same task under DINAR...")
+    protected = quick_experiment("purchase100", "dinar", attack="yeom")
+
+    print()
+    print(f"{'':>12s} {'attack AUC (local)':>20s} {'client accuracy':>16s}")
+    for label, result in (("no defense", baseline), ("DINAR", protected)):
+        print(f"{label:>12s} {100 * result.local_auc:>19.1f}% "
+              f"{100 * result.client_accuracy:>15.1f}%")
+    print()
+    print("An attack AUC of 50% is the optimum — a random guesser.")
+    print(f"DINAR cut the attacker from {100 * baseline.local_auc:.0f}% "
+          f"to {100 * protected.local_auc:.0f}% while keeping the "
+          "clients' personalized models useful.")
+
+
+if __name__ == "__main__":
+    main()

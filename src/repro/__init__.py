@@ -1,0 +1,48 @@
+"""DINAR reproduction: Personalized Privacy-Preserving Federated Learning.
+
+A full from-scratch reproduction of Boscher et al., MIDDLEWARE '24:
+a NumPy neural-network substrate (:mod:`repro.nn`), the paper's model
+families (:mod:`repro.models`), synthetic stand-ins for its datasets
+(:mod:`repro.data`), a cross-silo FedAvg simulator (:mod:`repro.fl`),
+membership-inference attacks and the five baseline defenses
+(:mod:`repro.privacy`), and DINAR itself (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import quick_experiment
+
+    result = quick_experiment("purchase100", defense="dinar")
+    print(result.local_auc, result.client_accuracy)
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    quick_experiment,
+    run_experiment,
+)
+from repro.analysis import leakage_over_training
+from repro.core import DINAR, DINARMiddleware, dinar_initialization
+from repro.data import load_dataset, split_for_membership
+from repro.fl import FederatedSimulation, FLConfig
+from repro.privacy.attacks import LossThresholdAttack, ShadowAttack
+from repro.privacy.defenses import make_defense
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DINAR",
+    "DINARMiddleware",
+    "ExperimentResult",
+    "FLConfig",
+    "FederatedSimulation",
+    "LossThresholdAttack",
+    "ShadowAttack",
+    "__version__",
+    "dinar_initialization",
+    "leakage_over_training",
+    "load_dataset",
+    "make_defense",
+    "quick_experiment",
+    "run_experiment",
+    "split_for_membership",
+]

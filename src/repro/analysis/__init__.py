@@ -1,0 +1,27 @@
+"""Analysis utilities: divergence measures and loss distributions."""
+
+from repro.analysis.divergence import (
+    histogram_distribution,
+    jensen_shannon_divergence,
+    js_divergence_from_samples,
+)
+from repro.analysis.leakage_over_time import (
+    LeakagePoint,
+    LeakageTrajectory,
+    leakage_over_training,
+)
+from repro.analysis.loss_distribution import (
+    LossDistributions,
+    loss_distributions,
+)
+
+__all__ = [
+    "LeakagePoint",
+    "LeakageTrajectory",
+    "LossDistributions",
+    "histogram_distribution",
+    "jensen_shannon_divergence",
+    "js_divergence_from_samples",
+    "leakage_over_training",
+    "loss_distributions",
+]

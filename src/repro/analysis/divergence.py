@@ -1,0 +1,54 @@
+"""Jensen-Shannon divergence (Menendez et al. [27]).
+
+The paper's generalization-gap measure: JS divergence between the
+distribution of a layer's gradients on member samples and on non-member
+samples (§3, §4.1).  Computed here from shared-bin histograms; base-2
+logs bound the result in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def histogram_distribution(samples: np.ndarray, bins: np.ndarray,
+                           *, smoothing: float = 1e-12) -> np.ndarray:
+    """Normalized histogram over fixed bin edges (a discrete pmf)."""
+    counts, _ = np.histogram(samples, bins=bins)
+    pmf = counts.astype(np.float64) + smoothing
+    return pmf / pmf.sum()
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(p || q) in bits over two aligned pmfs."""
+    if p.shape != q.shape:
+        raise ValueError(f"pmf shapes differ: {p.shape} vs {q.shape}")
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+def jensen_shannon_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """JS(p, q) in bits; symmetric, bounded in [0, 1]."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if not (np.isclose(p.sum(), 1.0, atol=1e-6)
+            and np.isclose(q.sum(), 1.0, atol=1e-6)):
+        raise ValueError("inputs must be normalized pmfs")
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m)
+
+
+def js_divergence_from_samples(a: np.ndarray, b: np.ndarray, *,
+                               num_bins: int = 50) -> float:
+    """JS divergence between two empirical samples via shared bins."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both sample sets must be non-empty")
+    lo = min(a.min(), b.min())
+    hi = max(a.max(), b.max())
+    if lo == hi:
+        return 0.0
+    bins = np.linspace(lo, hi, num_bins + 1)
+    return jensen_shannon_divergence(
+        histogram_distribution(a, bins), histogram_distribution(b, bins))

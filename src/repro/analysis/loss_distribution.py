@@ -1,0 +1,66 @@
+"""Member vs non-member loss distributions (Fig. 3).
+
+The defining observable of membership leakage: when the two loss
+distributions differ, a MIA can threshold between them; when they
+match, the model offers "lack of insightful information to distinguish
+members and non-members" (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.divergence import js_divergence_from_samples
+from repro.nn.model import Model
+from repro.privacy.attacks.features import per_example_loss
+
+
+@dataclass
+class LossDistributions:
+    """Per-population loss samples and their summary statistics."""
+
+    member_losses: np.ndarray
+    nonmember_losses: np.ndarray
+
+    @property
+    def member_mean(self) -> float:
+        return float(self.member_losses.mean())
+
+    @property
+    def nonmember_mean(self) -> float:
+        return float(self.nonmember_losses.mean())
+
+    @property
+    def gap(self) -> float:
+        """Mean-loss generalization gap (non-member minus member)."""
+        return self.nonmember_mean - self.member_mean
+
+    @property
+    def divergence(self) -> float:
+        """JS divergence between the two loss distributions."""
+        return js_divergence_from_samples(
+            self.member_losses, self.nonmember_losses)
+
+    def histograms(self, num_bins: int = 30
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(bin_edges, member_density, nonmember_density) for plotting."""
+        lo = float(min(self.member_losses.min(),
+                       self.nonmember_losses.min()))
+        hi = float(max(self.member_losses.max(),
+                       self.nonmember_losses.max()))
+        bins = np.linspace(lo, hi if hi > lo else lo + 1.0, num_bins + 1)
+        m, _ = np.histogram(self.member_losses, bins=bins, density=True)
+        n, _ = np.histogram(self.nonmember_losses, bins=bins, density=True)
+        return bins, m, n
+
+
+def loss_distributions(model: Model, member_x: np.ndarray,
+                       member_y: np.ndarray, nonmember_x: np.ndarray,
+                       nonmember_y: np.ndarray) -> LossDistributions:
+    """Collect per-sample losses for both populations."""
+    return LossDistributions(
+        member_losses=per_example_loss(model, member_x, member_y),
+        nonmember_losses=per_example_loss(model, nonmember_x, nonmember_y),
+    )

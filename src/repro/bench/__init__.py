@@ -1,0 +1,19 @@
+"""Benchmark harness: one call = one (dataset, defense, attack) cell of
+the paper's evaluation, returning privacy, utility and cost metrics."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    make_model_factory,
+    quick_experiment,
+    run_experiment,
+)
+from repro.bench.reporting import format_table, paper_vs_measured
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "make_model_factory",
+    "paper_vs_measured",
+    "quick_experiment",
+    "run_experiment",
+]

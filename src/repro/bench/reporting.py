@@ -1,0 +1,46 @@
+"""ASCII reporting: benchmark output that reads like the paper's tables.
+
+Every benchmark prints its measured numbers next to the values the
+paper reports, so a reader can check the reproduction *shape* (who
+wins, by roughly what factor) at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], *,
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])),
+            *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w)
+                            for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(label: str, paper_value: object,
+                      measured_value: object, *,
+                      note: str = "") -> list[object]:
+    """One comparison row: [label, paper, measured, note]."""
+    return [label, _fmt(paper_value), _fmt(measured_value), note]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Run any cell of the paper's evaluation without writing code::
+
+    python -m repro run --dataset purchase100 --defense dinar
+    python -m repro run --dataset gtsrb --defense ldp --attack shadow
+    python -m repro analyze --dataset celeba
+    python -m repro list
+
+``run`` prints the Appendix-A metrics (attack AUC against global and
+local models, client accuracy) plus measured costs, and can dump a
+JSON summary with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+from repro.bench.harness import (
+    default_config,
+    make_model_factory,
+    run_experiment,
+)
+from repro.bench.reporting import format_table
+from repro.data import available_datasets
+from repro.fl.config import FLConfig
+
+DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DINAR reproduction: run FL privacy experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one (dataset, defense) cell")
+    run.add_argument("--dataset", required=True,
+                     choices=available_datasets())
+    run.add_argument("--defense", default="none", choices=DEFENSES)
+    run.add_argument("--attack", default="yeom",
+                     choices=["yeom", "shadow"])
+    run.add_argument("--rounds", type=int, default=None)
+    run.add_argument("--clients", type=int, default=None)
+    run.add_argument("--local-epochs", type=int, default=None)
+    run.add_argument("--lr", type=float, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--alpha", type=float, default=math.inf,
+                     help="Dirichlet non-IID alpha (default IID)")
+    run.add_argument("--samples", type=int, default=None,
+                     help="override dataset size")
+    run.add_argument("--out", default=None,
+                     help="write a JSON summary to this path")
+
+    analyze = sub.add_parser(
+        "analyze", help="per-layer membership-leakage analysis (paper §3)")
+    analyze.add_argument("--dataset", required=True,
+                        choices=available_datasets())
+    analyze.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list datasets and defenses")
+    return parser
+
+
+def _config_from_args(args) -> FLConfig:
+    base = default_config(args.dataset, seed=args.seed)
+    return FLConfig(
+        num_clients=args.clients or base.num_clients,
+        rounds=args.rounds or base.rounds,
+        local_epochs=args.local_epochs or base.local_epochs,
+        lr=args.lr or base.lr,
+        batch_size=base.batch_size,
+        seed=args.seed,
+        eval_every=args.rounds or base.rounds,
+    )
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(
+        args.dataset, args.defense, attack=args.attack,
+        config=_config_from_args(args), dirichlet_alpha=args.alpha,
+        n_samples=args.samples, seed=args.seed)
+    costs = result.costs
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["attack AUC vs global model", f"{100 * result.global_auc:.1f}%"],
+            ["attack AUC vs client uploads", f"{100 * result.local_auc:.1f}%"],
+            ["global model accuracy", f"{100 * result.global_accuracy:.1f}%"],
+            ["mean client accuracy", f"{100 * result.client_accuracy:.1f}%"],
+            ["client train time / round",
+             f"{costs.train_seconds_per_round:.3f}s"],
+            ["server aggregation / round",
+             f"{1000 * costs.aggregate_seconds_per_round:.1f}ms"],
+            ["defense extra state",
+             f"{costs.defense_state_bytes / 1024:.0f} KiB"],
+        ],
+        title=f"{args.dataset} under {args.defense} "
+              f"({args.attack} attack; 50% AUC is optimal)"))
+    if args.out:
+        from repro.nn.serialize import save_experiment_result
+        save_experiment_result(result, args.out)
+        print(f"\nsummary written to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.sensitivity import layer_divergences
+
+    print(f"training an unprotected FL model on {args.dataset}...")
+    result = run_experiment(args.dataset, "none", attack="yeom",
+                            seed=args.seed)
+    simulation = result.simulation
+    sensitivity = layer_divergences(
+        simulation.global_model(),
+        simulation.split.members.x, simulation.split.members.y,
+        simulation.split.nonmembers.x, simulation.split.nonmembers.y,
+        rng=np.random.default_rng(args.seed))
+    rows = [
+        [idx, name, f"{div:.4f}",
+         "<-- obfuscate this one"
+         if idx == sensitivity.most_sensitive_layer else ""]
+        for idx, name, div in sensitivity.as_rows()
+    ]
+    print(format_table(["layer", "name", "JS divergence", ""], rows,
+                       title=f"membership leakage per layer - "
+                             f"{args.dataset}"))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("datasets:", ", ".join(available_datasets()))
+    print("defenses:", ", ".join(DEFENSES))
+    print("attacks: yeom, shadow")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Datasets and federated partitioning.
+
+The paper's six public datasets are replaced by seeded synthetic
+generators with matched shapes (see DESIGN.md §2 for the substitution
+rationale); this package also implements the paper's data protocol:
+half of each dataset is the attacker's prior knowledge, the rest splits
+80/20 into member (training) and non-member (test) sets, and the member
+set is partitioned across FL clients IID or with a Dirichlet(alpha)
+distribution (§5.1, §5.3, §5.8).
+"""
+
+from repro.data.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+from repro.data.loader import iterate_batches
+from repro.data.partition import (
+    MembershipSplit,
+    partition_dirichlet,
+    partition_iid,
+    split_for_membership,
+)
+from repro.data.synthetic import (
+    Dataset,
+    synthetic_audio,
+    synthetic_images,
+    synthetic_tabular,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "MembershipSplit",
+    "available_datasets",
+    "iterate_batches",
+    "load_dataset",
+    "partition_dirichlet",
+    "partition_iid",
+    "split_for_membership",
+    "synthetic_audio",
+    "synthetic_images",
+    "synthetic_tabular",
+]

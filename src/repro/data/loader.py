@@ -1,0 +1,39 @@
+"""Mini-batch iteration with seeded shuffling."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def iterate_batches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                    rng: np.random.Generator | None = None, *,
+                    shuffle: bool = True,
+                    drop_last: bool = False
+                    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(batch_x, batch_y)`` pairs over one epoch.
+
+    Parameters
+    ----------
+    rng:
+        Required when ``shuffle=True`` so epochs are reproducible.
+    drop_last:
+        Discard a trailing partial batch (useful for batch-norm nets).
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(x)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield x[idx], y[idx]

@@ -1,0 +1,106 @@
+"""Membership splits and federated partitioning.
+
+Implements the paper's data protocol (§5.1): half of each dataset is
+the attacker's prior knowledge for shadow training, the other half
+splits 80/20 into the member (training) and non-member (test) pools.
+The member pool is then partitioned across FL clients — disjoint IID
+splits (§5.3) or Dirichlet(alpha) non-IID splits (§5.8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+
+
+@dataclass
+class MembershipSplit:
+    """The three disjoint pools of the paper's evaluation protocol."""
+
+    members: Dataset     # used for FL training — the MIA positives
+    nonmembers: Dataset  # held-out test set — the MIA negatives
+    attacker: Dataset    # attacker's prior knowledge (shadow data)
+
+    @property
+    def num_classes(self) -> int:
+        return self.members.num_classes
+
+
+def split_for_membership(dataset: Dataset, rng: np.random.Generator, *,
+                         attacker_fraction: float = 0.5,
+                         train_fraction: float = 0.8) -> MembershipSplit:
+    """Split per §5.1: attacker half, then 80/20 member/non-member."""
+    if not 0.0 < attacker_fraction < 1.0:
+        raise ValueError(f"attacker_fraction must be in (0,1), "
+                         f"got {attacker_fraction}")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0,1), "
+                         f"got {train_fraction}")
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_attacker = int(n * attacker_fraction)
+    attacker_idx = order[:n_attacker]
+    rest = order[n_attacker:]
+    n_members = int(len(rest) * train_fraction)
+    return MembershipSplit(
+        members=dataset.subset(rest[:n_members],
+                               name=f"{dataset.name}/members"),
+        nonmembers=dataset.subset(rest[n_members:],
+                                  name=f"{dataset.name}/nonmembers"),
+        attacker=dataset.subset(attacker_idx,
+                                name=f"{dataset.name}/attacker"),
+    )
+
+
+def partition_iid(n_samples: int, num_clients: int,
+                  rng: np.random.Generator) -> list[np.ndarray]:
+    """Disjoint, equal-size random shards (the paper's §5.3 setting)."""
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if n_samples < num_clients:
+        raise ValueError(
+            f"{n_samples} samples cannot cover {num_clients} clients")
+    order = rng.permutation(n_samples)
+    return [shard for shard in np.array_split(order, num_clients)]
+
+
+def partition_dirichlet(labels: np.ndarray, num_clients: int, alpha: float,
+                        rng: np.random.Generator, *,
+                        num_classes: int | None = None,
+                        min_samples: int = 1) -> list[np.ndarray]:
+    """Dirichlet(alpha) label-skew partition (§5.8).
+
+    Lower ``alpha`` concentrates each class on fewer clients
+    (more non-IID); ``alpha=math.inf`` degenerates to IID.
+    Re-draws until every client has at least ``min_samples`` samples.
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if math.isinf(alpha):
+        return partition_iid(len(labels), num_clients, rng)
+    k = num_classes or int(labels.max()) + 1
+    for _ in range(100):
+        shards: list[list[int]] = [[] for _ in range(num_clients)]
+        for cls in range(k):
+            cls_idx = np.flatnonzero(labels == cls)
+            if len(cls_idx) == 0:
+                continue
+            rng.shuffle(cls_idx)
+            proportions = rng.dirichlet([alpha] * num_clients)
+            counts = np.floor(proportions * len(cls_idx)).astype(int)
+            counts[-1] = len(cls_idx) - counts[:-1].sum()
+            start = 0
+            for client, count in enumerate(counts):
+                shards[client].extend(cls_idx[start:start + count])
+                start += count
+        if min(len(s) for s in shards) >= min_samples:
+            return [np.array(sorted(s), dtype=np.int64) for s in shards]
+    raise RuntimeError(
+        f"could not draw a Dirichlet({alpha}) partition giving every one of "
+        f"{num_clients} clients >= {min_samples} samples in 100 attempts")

@@ -1,0 +1,153 @@
+"""Seeded synthetic dataset generators.
+
+Membership inference succeeds when models memorize their training set,
+which depends on the *statistical* shape of the data — per-class sample
+count, intra-class noise, class count — not on semantic content.  Each
+generator therefore produces class-prototype data with a controllable
+noise level: prototypes define the classes, noise controls how much a
+model must memorize individual samples to fit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """An in-memory supervised dataset.
+
+    Attributes
+    ----------
+    x:
+        Features; shape ``(n, *feature_shape)`` — flat for tabular,
+        ``(n, c, h, w)`` for images, ``(n, c, length)`` for audio.
+    y:
+        Integer class labels, shape ``(n,)``.
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    data_type: str = "tabular"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"{self.name}: {len(self.x)} features vs {len(self.y)} labels")
+        if len(self.y) and (self.y.min() < 0
+                            or self.y.max() >= self.num_classes):
+            raise ValueError(
+                f"{self.name}: labels outside [0, {self.num_classes})")
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    @property
+    def feature_shape(self) -> tuple[int, ...]:
+        """Shape of a single sample (without the batch axis)."""
+        return self.x.shape[1:]
+
+    def subset(self, indices: np.ndarray, *,
+               name: str | None = None) -> "Dataset":
+        """New dataset restricted to ``indices`` (copies the arrays)."""
+        return Dataset(
+            name=name or self.name,
+            x=self.x[indices].copy(),
+            y=self.y[indices].copy(),
+            num_classes=self.num_classes,
+            data_type=self.data_type,
+            metadata=dict(self.metadata),
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts, length ``num_classes``."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+
+def _balanced_labels(rng: np.random.Generator, n_samples: int,
+                     n_classes: int) -> np.ndarray:
+    """Labels covering every class as evenly as n_samples allows."""
+    base = np.tile(np.arange(n_classes), n_samples // n_classes + 1)
+    labels = base[:n_samples].copy()
+    rng.shuffle(labels)
+    return labels
+
+
+def synthetic_tabular(rng: np.random.Generator, n_samples: int,
+                      n_features: int, n_classes: int, *,
+                      binary: bool = True, noise: float = 0.2,
+                      name: str = "tabular") -> Dataset:
+    """Class-prototype tabular data (Purchase100/Texas100 stand-in).
+
+    Each class has a random binary prototype; samples copy their class
+    prototype and flip each feature independently with probability
+    ``noise``.  With ``binary=False``, Gaussian prototypes plus
+    ``noise``-scaled Gaussian perturbations are used instead.
+    """
+    if n_samples < 1 or n_features < 1 or n_classes < 2:
+        raise ValueError("need n_samples>=1, n_features>=1, n_classes>=2")
+    y = _balanced_labels(rng, n_samples, n_classes)
+    if binary:
+        prototypes = (rng.random((n_classes, n_features)) < 0.5)
+        x = prototypes[y].astype(np.float64)
+        flips = rng.random((n_samples, n_features)) < noise
+        x[flips] = 1.0 - x[flips]
+    else:
+        prototypes = rng.standard_normal((n_classes, n_features))
+        x = prototypes[y] + noise * rng.standard_normal(
+            (n_samples, n_features))
+    return Dataset(name=name, x=x, y=y, num_classes=n_classes,
+                   data_type="tabular")
+
+
+def synthetic_images(rng: np.random.Generator, n_samples: int,
+                     shape: tuple[int, int, int], n_classes: int, *,
+                     noise: float = 0.35,
+                     name: str = "images") -> Dataset:
+    """Class-prototype image tensors (CIFAR/GTSRB/CelebA stand-in).
+
+    Prototypes are smooth random fields (low-resolution noise upsampled
+    with ``np.kron``), mimicking the spatial correlation of natural
+    images; samples add white noise on top.
+    """
+    channels, height, width = shape
+    if height % 4 or width % 4:
+        raise ValueError(f"image sides must be divisible by 4, got {shape}")
+    y = _balanced_labels(rng, n_samples, n_classes)
+    low = rng.standard_normal((n_classes, channels, height // 4, width // 4))
+    prototypes = np.kron(low, np.ones((1, 1, 4, 4)))
+    x = prototypes[y] + noise * rng.standard_normal(
+        (n_samples, channels, height, width))
+    return Dataset(name=name, x=x, y=y, num_classes=n_classes,
+                   data_type="image")
+
+
+def synthetic_audio(rng: np.random.Generator, n_samples: int, length: int,
+                    n_classes: int, *, noise: float = 0.4,
+                    n_harmonics: int = 3,
+                    name: str = "audio") -> Dataset:
+    """Class-prototype waveforms (Speech Commands stand-in).
+
+    Each class is a fixed mixture of ``n_harmonics`` sinusoids with
+    class-specific frequencies and phases ("a word"); samples apply a
+    random amplitude jitter and additive noise ("a speaker").
+    """
+    y = _balanced_labels(rng, n_samples, n_classes)
+    t = np.arange(length) / length
+    freqs = rng.uniform(2.0, length / 4.0, size=(n_classes, n_harmonics))
+    phases = rng.uniform(0.0, 2 * np.pi, size=(n_classes, n_harmonics))
+    amps = rng.uniform(0.5, 1.0, size=(n_classes, n_harmonics))
+    prototypes = np.zeros((n_classes, length))
+    for h in range(n_harmonics):
+        prototypes += amps[:, h, None] * np.sin(
+            2 * np.pi * freqs[:, h, None] * t[None, :] + phases[:, h, None])
+    jitter = rng.uniform(0.8, 1.2, size=(n_samples, 1))
+    x = jitter * prototypes[y] + noise * rng.standard_normal(
+        (n_samples, length))
+    return Dataset(name=name, x=x[:, None, :], y=y, num_classes=n_classes,
+                   data_type="audio")

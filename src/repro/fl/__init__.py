@@ -1,0 +1,34 @@
+"""Federated-learning substrate: cross-silo FedAvg simulation.
+
+Implements the paper's §2.1 setting: at each round the server selects N
+clients, which train locally and transmit model updates; the server
+aggregates with FedAvg and shares the global model back with the
+participating clients (and nobody else).  Defenses plug in through the
+hook interface in :mod:`repro.privacy.defenses.base`.
+"""
+
+from repro.fl.aggregation import (
+    coordinate_median,
+    fedavg,
+    trimmed_mean,
+)
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.config import FLConfig
+from repro.fl.costs import CostMeter, CostReport
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation, History, RoundRecord
+
+__all__ = [
+    "ClientUpdate",
+    "CostMeter",
+    "CostReport",
+    "FLClient",
+    "FLConfig",
+    "FLServer",
+    "FederatedSimulation",
+    "History",
+    "RoundRecord",
+    "coordinate_median",
+    "fedavg",
+    "trimmed_mean",
+]

@@ -1,0 +1,90 @@
+"""Model aggregation rules.
+
+FedAvg is the paper's aggregation (§2.1).  Trimmed mean and coordinate
+median are extensions (DESIGN.md §6) for composing DINAR with
+Byzantine-robust aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.model import Weights
+
+
+def _check_nonempty(updates: Sequence[Weights]) -> None:
+    if not updates:
+        raise ValueError("cannot aggregate zero updates")
+
+
+def fedavg(updates: Sequence[Weights],
+           num_samples: Sequence[int]) -> Weights:
+    """Sample-count-weighted average of client updates (McMahan 2017)."""
+    _check_nonempty(updates)
+    if len(updates) != len(num_samples):
+        raise ValueError(f"{len(updates)} updates vs "
+                         f"{len(num_samples)} sample counts")
+    total = float(sum(num_samples))
+    if total <= 0:
+        raise ValueError("total sample count must be positive")
+    out: Weights = []
+    for layer_idx in range(len(updates[0])):
+        merged: dict[str, np.ndarray] = {}
+        for key in updates[0][layer_idx]:
+            merged[key] = sum(
+                (n / total) * u[layer_idx][key]
+                for u, n in zip(updates, num_samples))
+        out.append(merged)
+    return out
+
+
+def sum_updates(updates: Sequence[Weights]) -> Weights:
+    """Plain element-wise sum (the server step of secure aggregation)."""
+    _check_nonempty(updates)
+    out: Weights = []
+    for layer_idx in range(len(updates[0])):
+        merged = {
+            key: sum(u[layer_idx][key] for u in updates)
+            for key in updates[0][layer_idx]
+        }
+        out.append(merged)
+    return out
+
+
+def scale_weights(weights: Weights, factor: float) -> Weights:
+    """Multiply every array by ``factor`` (returns a new structure)."""
+    return [{k: v * factor for k, v in layer.items()} for layer in weights]
+
+
+def trimmed_mean(updates: Sequence[Weights], *, trim: int = 1) -> Weights:
+    """Coordinate-wise mean after dropping the ``trim`` highest and
+    lowest values (extension: Byzantine-robust aggregation)."""
+    _check_nonempty(updates)
+    if 2 * trim >= len(updates):
+        raise ValueError(
+            f"trim={trim} removes all of {len(updates)} updates")
+    out: Weights = []
+    for layer_idx in range(len(updates[0])):
+        merged: dict[str, np.ndarray] = {}
+        for key in updates[0][layer_idx]:
+            stacked = np.stack([u[layer_idx][key] for u in updates])
+            stacked.sort(axis=0)
+            merged[key] = stacked[trim:len(updates) - trim].mean(axis=0)
+        out.append(merged)
+    return out
+
+
+def coordinate_median(updates: Sequence[Weights]) -> Weights:
+    """Coordinate-wise median (extension: Byzantine-robust aggregation)."""
+    _check_nonempty(updates)
+    out: Weights = []
+    for layer_idx in range(len(updates[0])):
+        merged = {
+            key: np.median(
+                np.stack([u[layer_idx][key] for u in updates]), axis=0)
+            for key in updates[0][layer_idx]
+        }
+        out.append(merged)
+    return out

@@ -1,0 +1,140 @@
+"""FL client: local training plus the defense hook pipeline.
+
+Each round a participating client (i) passes the downloaded global
+model through ``defense.on_receive_global`` (DINAR's personalization
+step), (ii) trains locally — the defense may impose its optimizer
+(DINAR's adaptive gradient descent) — and (iii) passes the resulting
+weights through ``defense.on_send_update`` (DINAR's obfuscation, DP
+noise, compression or masking) before upload.
+
+The client keeps its *personalized* weights (post-training, pre-upload
+transform) for its own predictions, matching §4.3: "the resulting
+personalized client models are used by the clients for their
+predictions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import iterate_batches
+from repro.data.synthetic import Dataset
+from repro.fl.config import FLConfig
+from repro.fl.costs import CostMeter
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy
+from repro.nn.model import Model, Weights
+from repro.nn.optim import make_optimizer
+from repro.privacy.defenses.base import Defense
+
+
+@dataclass
+class ClientUpdate:
+    """What a client transmits to the server after local training."""
+
+    client_id: int
+    weights: Weights
+    num_samples: int
+    train_seconds: float
+
+
+class FLClient:
+    """One cross-silo FL participant."""
+
+    def __init__(self, client_id: int, model: Model, data: Dataset,
+                 config: FLConfig, defense: Defense,
+                 rng: np.random.Generator,
+                 loss: Loss | None = None,
+                 cost_meter: CostMeter | None = None) -> None:
+        if len(data) == 0:
+            raise ValueError(f"client {client_id} has no data")
+        self.client_id = client_id
+        self.model = model
+        self.data = data
+        self.config = config
+        self.defense = defense
+        self.rng = rng
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.cost_meter = cost_meter or CostMeter()
+        self.personal_weights: Weights | None = None
+        model.attach_rng(rng)
+
+    @property
+    def num_samples(self) -> int:
+        """Local dataset size (FedAvg weighting factor)."""
+        return len(self.data)
+
+    def train_round(self, global_weights: Weights,
+                    round_index: int) -> ClientUpdate:
+        """Run one FL round: personalize, train locally, protect, upload."""
+        received = self.defense.on_receive_global(
+            self.client_id, global_weights)
+        self.model.set_weights(received)
+
+        with self.cost_meter.client_training():
+            self._train_local()
+
+        # Personalized model = post-training weights with the private
+        # layer intact; this is what the client uses for predictions.
+        self.personal_weights = self.model.get_weights()
+
+        with self.cost_meter.client_defense():
+            sent = self.defense.on_send_update(
+                self.client_id, self.model.get_weights(),
+                self.num_samples, self.rng)
+        self.cost_meter.record_defense_state(self.defense.state_bytes())
+
+        return ClientUpdate(
+            client_id=self.client_id,
+            weights=sent,
+            num_samples=self.num_samples,
+            train_seconds=self.cost_meter.report.client_train_seconds,
+        )
+
+    def _train_local(self) -> None:
+        """Local epochs with the defense-selected optimizer.
+
+        The optimizer is rebuilt each round with zeroed state, matching
+        Algorithm 1 line 8 (``G <- 0`` at the start of the round).
+        With ``config.proximal_mu > 0`` a FedProx proximal term
+        ``mu * (w - w_round_start)`` is added to every gradient,
+        limiting client drift on non-IID shards (extension).
+        """
+        optimizer = self.defense.make_optimizer(self.model, self.config.lr)
+        if optimizer is None:
+            optimizer = make_optimizer(
+                self.config.optimizer, self.model, self.config.lr)
+        notify = getattr(optimizer, "notify_batch_size", None)
+        mu = self.config.proximal_mu
+        anchors = self.model.get_weights() if mu > 0 else None
+        for _ in range(self.config.local_epochs):
+            for bx, by in iterate_batches(
+                    self.data.x, self.data.y, self.config.batch_size,
+                    self.rng):
+                if notify is not None:
+                    notify(len(bx))  # DP-SGD scales noise by batch size
+                self.model.loss_and_grad(bx, by, self.loss)
+                if mu > 0:
+                    self._add_proximal_term(mu, anchors)
+                optimizer.step()
+
+    def _add_proximal_term(self, mu: float, anchors) -> None:
+        """Add the FedProx gradient ``mu * (w - anchor)`` in place."""
+        for layer, anchor in zip(self.model.trainable, anchors):
+            for key, param in layer.params.items():
+                layer.grads[key] += mu * (param - anchor[key])
+
+    def personalized_model(self) -> Model:
+        """The client's prediction model (private layer restored)."""
+        if self.personal_weights is None:
+            raise RuntimeError(
+                f"client {self.client_id} has not trained yet")
+        model = self.model.clone()
+        model.set_weights(self.personal_weights)
+        return model
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of the personalized model on the given samples."""
+        return accuracy(self.personalized_model().predict(x), y)

@@ -1,0 +1,55 @@
+"""Federated experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FLConfig:
+    """Hyper-parameters of one federated run (paper defaults from §5.3).
+
+    The paper uses lr=1e-3 and batch 64 at full dataset scale; the
+    defaults here are tuned to the CPU-scaled synthetic datasets but
+    every field is overridable per experiment.
+    """
+
+    num_clients: int = 5
+    rounds: int = 5
+    local_epochs: int = 5
+    lr: float = 0.05
+    batch_size: int = 64
+    optimizer: str = "sgd"
+    seed: int = 0
+    clients_per_round: int | None = None  # None = all clients every round
+    eval_every: int = 1                   # evaluate every k rounds
+    proximal_mu: float = 0.0              # FedProx term (0 = plain FedAvg)
+    server_momentum: float = 0.0          # FedAvgM (0 = plain FedAvg)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, "
+                             f"got {self.num_clients}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, "
+                             f"got {self.local_epochs}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, "
+                             f"got {self.batch_size}")
+        if self.clients_per_round is not None and not (
+                1 <= self.clients_per_round <= self.num_clients):
+            raise ValueError(
+                f"clients_per_round must be in [1, {self.num_clients}], "
+                f"got {self.clients_per_round}")
+        if self.proximal_mu < 0:
+            raise ValueError(
+                f"proximal_mu must be >= 0, got {self.proximal_mu}")
+        if not 0.0 <= self.server_momentum < 1.0:
+            raise ValueError(
+                f"server_momentum must be in [0, 1), "
+                f"got {self.server_momentum}")

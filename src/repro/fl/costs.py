@@ -1,0 +1,83 @@
+"""Cost accounting for Table 3 (client train time, server aggregation
+time, defense memory).
+
+Wall-clock timers measure the simulated computations directly; memory is
+accounted as the bytes of extra state a defense keeps alive (noise
+buffers, compression residuals, stored private layers), which is what
+dominates the paper's GPU-memory deltas.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class CostReport:
+    """Aggregated costs of one federated run."""
+
+    client_train_seconds: float = 0.0
+    client_defense_seconds: float = 0.0
+    server_aggregate_seconds: float = 0.0
+    client_train_rounds: int = 0
+    server_rounds: int = 0
+    defense_state_bytes: int = 0
+
+    @property
+    def train_seconds_per_round(self) -> float:
+        """Mean per-client training duration per FL round (Table 3 col 1)."""
+        if self.client_train_rounds == 0:
+            return 0.0
+        return (self.client_train_seconds + self.client_defense_seconds) \
+            / self.client_train_rounds
+
+    @property
+    def aggregate_seconds_per_round(self) -> float:
+        """Mean server aggregation duration per FL round (Table 3 col 2)."""
+        if self.server_rounds == 0:
+            return 0.0
+        return self.server_aggregate_seconds / self.server_rounds
+
+
+class CostMeter:
+    """Accumulates wall-clock and memory costs across a run."""
+
+    def __init__(self) -> None:
+        self.report = CostReport()
+
+    @contextmanager
+    def client_training(self):
+        """Time one client's local-training phase of a round."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.report.client_train_seconds += time.perf_counter() - start
+            self.report.client_train_rounds += 1
+
+    @contextmanager
+    def client_defense(self):
+        """Time defense work on the client (noise, masking, compression)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.report.client_defense_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def server_aggregation(self):
+        """Time one server aggregation (including server-side defense)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.report.server_aggregate_seconds += \
+                time.perf_counter() - start
+            self.report.server_rounds += 1
+
+    def record_defense_state(self, num_bytes: int) -> None:
+        """Track the peak extra bytes a defense keeps alive."""
+        self.report.defense_state_bytes = max(
+            self.report.defense_state_bytes, int(num_bytes))

@@ -1,0 +1,77 @@
+"""FL server: client selection and defended aggregation."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import fedavg, scale_weights, sum_updates
+from repro.fl.client import ClientUpdate
+from repro.fl.config import FLConfig
+from repro.fl.costs import CostMeter
+from repro.nn.model import Weights, weights_zip_map, zeros_like_weights
+from repro.privacy.defenses.base import Defense
+
+
+class FLServer:
+    """Holds the global model, selects cohorts, aggregates updates."""
+
+    def __init__(self, initial_weights: Weights, config: FLConfig,
+                 defense: Defense, rng: np.random.Generator,
+                 cost_meter: CostMeter | None = None) -> None:
+        self.global_weights = initial_weights
+        self.config = config
+        self.defense = defense
+        self.rng = rng
+        self.cost_meter = cost_meter or CostMeter()
+        self._momentum_buffer: Weights | None = None
+
+    def select_clients(self, round_index: int) -> list[int]:
+        """Choose the participating cohort for one round."""
+        n = self.config.num_clients
+        k = self.config.clients_per_round or n
+        if k >= n:
+            return list(range(n))
+        chosen = self.rng.choice(n, size=k, replace=False)
+        return sorted(int(c) for c in chosen)
+
+    def aggregate(self, updates: Sequence[ClientUpdate]) -> Weights:
+        """FedAvg the cohort's updates and apply the server-side defense.
+
+        With a ``pre_weighted`` defense (secure aggregation) clients
+        transmit ``num_samples * weights + mask``; the masks cancel in
+        the plain sum, so dividing by the total sample count recovers
+        exactly the FedAvg result without the server ever seeing an
+        individual update in the clear.
+        """
+        if not updates:
+            raise ValueError("no updates to aggregate")
+        with self.cost_meter.server_aggregation():
+            if self.defense.pre_weighted:
+                total = float(sum(u.num_samples for u in updates))
+                aggregated = scale_weights(
+                    sum_updates([u.weights for u in updates]), 1.0 / total)
+            else:
+                aggregated = fedavg(
+                    [u.weights for u in updates],
+                    [u.num_samples for u in updates])
+            aggregated = self._apply_server_momentum(aggregated)
+            aggregated = self.defense.on_aggregate(aggregated, self.rng)
+        self.global_weights = aggregated
+        return aggregated
+
+    def _apply_server_momentum(self, aggregated: Weights) -> Weights:
+        """FedAvgM (Hsu et al., 2020): accumulate the round delta in a
+        server-side momentum buffer (extension; no-op at momentum 0)."""
+        beta = self.config.server_momentum
+        if beta <= 0.0:
+            return aggregated
+        delta = weights_zip_map(np.subtract, aggregated,
+                                self.global_weights)
+        if self._momentum_buffer is None:
+            self._momentum_buffer = zeros_like_weights(delta)
+        self._momentum_buffer = weights_zip_map(
+            lambda m, d: beta * m + d, self._momentum_buffer, delta)
+        return weights_zip_map(np.add, self.global_weights,
+                               self._momentum_buffer)

@@ -1,0 +1,190 @@
+"""Federated simulation orchestrator.
+
+Wires datasets, clients, server and a defense into the paper's §2.1
+round loop and records everything the evaluation needs afterwards: the
+global model, each client's transmitted (post-defense) update — the
+server-side attacker's view — and each client's personalized model —
+what the client actually predicts with.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import (
+    MembershipSplit,
+    partition_dirichlet,
+    partition_iid,
+)
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.costs import CostMeter
+from repro.fl.network import NetworkModel, TrafficMeter, dense_nbytes
+from repro.fl.server import FLServer
+from repro.nn.metrics import accuracy
+from repro.nn.model import Model, Weights
+from repro.privacy.defenses.base import Defense
+
+
+@dataclass
+class RoundRecord:
+    """Metrics captured after one FL round."""
+
+    round_index: int
+    global_accuracy: float
+    mean_client_accuracy: float
+    participating: list[int]
+
+
+@dataclass
+class History:
+    """Round-by-round record of a federated run."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def final_global_accuracy(self) -> float:
+        """Global-model test accuracy after the last evaluated round."""
+        if not self.records:
+            raise RuntimeError("simulation has not run yet")
+        return self.records[-1].global_accuracy
+
+    @property
+    def final_client_accuracy(self) -> float:
+        """Mean personalized-model test accuracy (Appendix A utility)."""
+        if not self.records:
+            raise RuntimeError("simulation has not run yet")
+        return self.records[-1].mean_client_accuracy
+
+
+class FederatedSimulation:
+    """End-to-end federated run over a membership split."""
+
+    def __init__(self, split: MembershipSplit,
+                 model_factory: Callable[[np.random.Generator], Model],
+                 config: FLConfig, defense: Defense | None = None, *,
+                 dirichlet_alpha: float = math.inf,
+                 network: NetworkModel | None = None) -> None:
+        self.split = split
+        self.model_factory = model_factory
+        self.config = config
+        self.defense = defense or Defense()
+        self.cost_meter = CostMeter()
+        self.traffic_meter = TrafficMeter(network)
+        self.rng = np.random.default_rng(config.seed)
+
+        members = split.members
+        if math.isinf(dirichlet_alpha):
+            shards = partition_iid(len(members), config.num_clients,
+                                   self.rng)
+        else:
+            shards = partition_dirichlet(
+                members.y, config.num_clients, dirichlet_alpha, self.rng,
+                num_classes=members.num_classes)
+        self.client_data = [
+            members.subset(shard, name=f"{members.name}/client{i}")
+            for i, shard in enumerate(shards)
+        ]
+
+        self.clients = [
+            FLClient(
+                client_id=i,
+                model=model_factory(np.random.default_rng(config.seed)),
+                data=self.client_data[i],
+                config=config,
+                defense=self.defense,
+                rng=np.random.default_rng((config.seed, 1, i)),
+                cost_meter=self.cost_meter,
+            )
+            for i in range(config.num_clients)
+        ]
+        template = self.clients[0].model.get_weights()
+        self.server = FLServer(
+            initial_weights=template,
+            config=config,
+            defense=self.defense,
+            rng=np.random.default_rng((config.seed, 2)),
+            cost_meter=self.cost_meter,
+        )
+        self.last_updates: dict[int, Weights] = {}
+        self.history = History()
+
+    # ------------------------------------------------------------------
+    def run(self) -> History:
+        """Execute all configured FL rounds."""
+        for round_index in range(self.config.rounds):
+            self.run_round(round_index)
+        return self.history
+
+    def run_round(self, round_index: int) -> RoundRecord | None:
+        """Execute a single FL round; returns the record if evaluated."""
+        cohort = self.server.select_clients(round_index)
+        self.defense.on_round_start(
+            round_index, cohort, self.server.global_weights,
+            np.random.default_rng((self.config.seed, 3, round_index)))
+        download_bytes = dense_nbytes(self.server.global_weights)
+        updates = [
+            self.clients[cid].train_round(
+                self.server.global_weights, round_index)
+            for cid in cohort
+        ]
+        for update in updates:
+            self.last_updates[update.client_id] = update.weights
+            self.traffic_meter.record_exchange(
+                round_index, update.client_id, download_bytes,
+                self.defense.upload_nbytes(update.weights))
+        self.server.aggregate(updates)
+
+        if (round_index + 1) % self.config.eval_every and \
+                round_index + 1 != self.config.rounds:
+            return None
+        record = RoundRecord(
+            round_index=round_index,
+            global_accuracy=self.global_accuracy(),
+            mean_client_accuracy=self.mean_client_accuracy(),
+            participating=cohort,
+        )
+        self.history.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # evaluation views
+    # ------------------------------------------------------------------
+    def model_from_weights(self, weights: Weights) -> Model:
+        """Fresh model instance loaded with the given weights."""
+        model = self.model_factory(np.random.default_rng(self.config.seed))
+        model.set_weights(weights)
+        return model
+
+    def global_model(self) -> Model:
+        """The server's current global model (the client-side attack
+        target: every participant receives these exact weights)."""
+        return self.model_from_weights(self.server.global_weights)
+
+    def transmitted_model(self, client_id: int) -> Model:
+        """A client's last *transmitted* model — the server-side
+        attacker's view of that client (post-defense)."""
+        if client_id not in self.last_updates:
+            raise KeyError(f"client {client_id} has not participated yet")
+        return self.model_from_weights(self.last_updates[client_id])
+
+    def global_accuracy(self) -> float:
+        """Global model accuracy on the held-out non-member test set."""
+        test = self.split.nonmembers
+        return accuracy(self.global_model().predict(test.x), test.y)
+
+    def mean_client_accuracy(self) -> float:
+        """Mean personalized-model accuracy on the test set (Appendix A)."""
+        test = self.split.nonmembers
+        scores = [
+            client.evaluate(test.x, test.y)
+            for client in self.clients
+            if client.personal_weights is not None
+        ]
+        if not scores:
+            return float("nan")
+        return float(np.mean(scores))

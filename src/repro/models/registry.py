@@ -1,0 +1,40 @@
+"""Model registry: build the right architecture for a dataset by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.models.audio import build_audio_m5
+from repro.models.fcnn import build_fcnn
+from repro.models.resnet import build_resnet_small
+from repro.models.vgg import build_vgg_small
+from repro.nn.model import Model
+
+#: Signature of a model factory: (input_shape, num_classes, rng) -> Model.
+ModelBuilder = Callable[[tuple, int, np.random.Generator], Model]
+
+_REGISTRY: dict[str, ModelBuilder] = {
+    "fcnn": lambda shape, classes, rng: build_fcnn(
+        int(np.prod(shape)), classes, rng),
+    "resnet": build_resnet_small,
+    "vgg": build_vgg_small,
+    "audio": build_audio_m5,
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, input_shape: tuple, num_classes: int,
+                rng: np.random.Generator) -> Model:
+    """Build a model family by name for the given input shape."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; known: {available_models()}") from None
+    return builder(input_shape, num_classes, rng)

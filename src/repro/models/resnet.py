@@ -1,0 +1,91 @@
+"""ResNet-family stand-in for the paper's ResNet20 (Cifar-10/100).
+
+A residual block is exposed as a *single* composite layer so that
+DINAR's per-layer obfuscation treats it as one unit — the same
+granularity the paper uses when it reports "layer" indices on conv nets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.layers import AvgPool2d, Conv2d, Dense, Flatten, Layer
+from repro.nn.model import Model
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 convolutions with an identity skip: ``relu(F(x) + x)``.
+
+    Exposes the sublayers' parameters as a merged live view
+    (``conv1.W``, ``conv1.b``, ``conv2.W``, ``conv2.b``) so optimizers,
+    FL aggregation and DINAR obfuscation all see one flat dict.
+    """
+
+    def __init__(self, channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.channels = channels
+        self.conv1 = Conv2d(channels, channels, 3, rng, padding=1)
+        self.conv2 = Conv2d(channels, channels, 3, rng, padding=1)
+        self.relu_inner = ReLU()
+        self.relu_out = ReLU()
+
+    @property
+    def name(self) -> str:
+        return f"ResBlock({self.channels})"
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        merged = {f"conv1.{k}": v for k, v in self.conv1.params.items()}
+        merged.update({f"conv2.{k}": v for k, v in self.conv2.params.items()})
+        return merged
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        merged = {f"conv1.{k}": v for k, v in self.conv1.grads.items()}
+        merged.update({f"conv2.{k}": v for k, v in self.conv2.grads.items()})
+        return merged
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        out = self.conv1.forward(x, training=training)
+        out = self.relu_inner.forward(out, training=training)
+        out = self.conv2.forward(out, training=training)
+        return self.relu_out.forward(out + x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu_out.backward(grad)
+        skip = grad  # d(out + x)/dx through the identity branch
+        grad = self.conv2.backward(grad)
+        grad = self.relu_inner.backward(grad)
+        grad = self.conv1.backward(grad)
+        return grad + skip
+
+
+def build_resnet_small(input_shape: tuple[int, int, int], num_classes: int,
+                       rng: np.random.Generator, *, channels: int = 8,
+                       num_blocks: int = 2) -> Model:
+    """Small residual conv net: stem conv, residual blocks, pool, classifier.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of the input images.
+    channels:
+        Width of the residual trunk (paper's ResNet20 uses 16–64).
+    num_blocks:
+        Number of residual blocks (paper's ResNet20 uses 9).
+    """
+    in_c, h, w = input_shape
+    layers: list[Layer] = [
+        Conv2d(in_c, channels, 3, rng, padding=1),
+        ReLU(),
+    ]
+    for _ in range(num_blocks):
+        layers.append(ResidualBlock(channels, rng))
+    pool = 2
+    layers.extend([
+        AvgPool2d(pool),
+        Flatten(),
+        Dense(channels * (h // pool) * (w // pool), num_classes, rng),
+    ])
+    return Model(layers, rng=rng, name=f"resnet{num_blocks}x{channels}")

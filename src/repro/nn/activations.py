@@ -1,0 +1,131 @@
+"""Activation layers.
+
+Every activation is a parameter-free :class:`repro.nn.layers.Layer`; they
+cache whatever the backward pass needs on ``forward`` and release it after
+``backward``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(0, x)``."""
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad * self._mask
+        self._mask = None
+        return out
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = np.where(self._mask, grad, self.negative_slope * grad)
+        self._mask = None
+        return out
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent — the activation of the paper's 6-layer FCNN."""
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad * (1.0 - self._out ** 2)
+        self._out = None
+        return out
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad * self._out * (1.0 - self._out)
+        self._out = None
+        return out
+
+
+class ELU(Layer):
+    """Exponential linear unit."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._x = x
+        self._neg = self.alpha * (np.exp(np.minimum(x, 0.0)) - 1.0)
+        return np.where(x > 0, x, self._neg)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = np.where(self._x > 0, grad, grad * (self._neg + self.alpha))
+        self._x = None
+        self._neg = None
+        return out
+
+
+class GELU(Layer):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = math.sqrt(2.0 / math.pi)
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x ** 3)
+        self._t = np.tanh(inner)
+        return 0.5 * x * (1.0 + self._t)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, t = self._x, self._t
+        dinner = self._C * (1.0 + 3 * 0.044715 * x ** 2)
+        dx = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
+        self._x = None
+        self._t = None
+        return grad * dx
+
+
+class Softmax(Layer):
+    """Standalone softmax over the last axis.
+
+    Prefer :class:`repro.nn.losses.SoftmaxCrossEntropy` for training, which
+    fuses softmax with the loss for numerical stability; this layer exists
+    for models that must *emit* probabilities (e.g. attack feature
+    extraction from a deployed model).
+    """
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        self._out = exp / exp.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        s = self._out
+        self._out = None
+        dot = (grad * s).sum(axis=-1, keepdims=True)
+        return s * (grad - dot)

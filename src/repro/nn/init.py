@@ -1,0 +1,50 @@
+"""Seeded weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model build in the simulator is reproducible from a single experiment seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to Tanh/Sigmoid nets."""
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...],
+              fan_in: int) -> np.ndarray:
+    """He/Kaiming normal initialization, suited to ReLU nets."""
+    std = math.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float64)
+
+
+def lecun_normal(rng: np.random.Generator, shape: tuple[int, ...],
+                 fan_in: int) -> np.ndarray:
+    """LeCun normal initialization (variance 1/fan_in)."""
+    std = math.sqrt(1.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float64)
+
+
+def initialize(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int,
+               fan_out: int, scheme: str) -> np.ndarray:
+    """Dispatch to a named initialization scheme.
+
+    Parameters
+    ----------
+    scheme:
+        One of ``"xavier"``, ``"he"`` or ``"lecun"``.
+    """
+    if scheme == "xavier":
+        return xavier_uniform(rng, shape, fan_in, fan_out)
+    if scheme == "he":
+        return he_normal(rng, shape, fan_in)
+    if scheme == "lecun":
+        return lecun_normal(rng, shape, fan_in)
+    raise ValueError(f"unknown initialization scheme: {scheme!r}")

@@ -1,0 +1,425 @@
+"""Neural-network layers with analytic backprop.
+
+Layers follow a minimal protocol: ``forward`` caches what ``backward``
+needs, ``backward`` returns the gradient w.r.t. the input and fills
+``grads`` with gradients w.r.t. the layer's own ``params``.  ``buffers``
+hold non-trainable state (batch-norm running statistics) that still
+travels with the model in federated exchange.
+
+Parameter-carrying layers are the unit of granularity for DINAR: the
+paper's "layer index p" maps to an index into a model's trainable layers,
+and obfuscation replaces *all* arrays of that layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_schemes
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses with parameters populate ``self.params`` at construction
+    time and write matching keys into ``self.grads`` during ``backward``.
+    ``params``/``grads``/``buffers`` are properties so composite layers
+    (e.g. residual blocks) can expose merged live views over sublayers.
+    """
+
+    def __init__(self) -> None:
+        self._params: dict[str, np.ndarray] = {}
+        self._grads: dict[str, np.ndarray] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable arrays by name."""
+        return self._params
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :attr:`params`, filled by ``backward``."""
+        return self._grads
+
+    @property
+    def buffers(self) -> dict[str, np.ndarray]:
+        """Non-trainable exchanged state (e.g. batch-norm running stats)."""
+        return self._buffers
+
+    @property
+    def has_params(self) -> bool:
+        """Whether this layer carries trainable parameters."""
+        return bool(self.params)
+
+    @property
+    def name(self) -> str:
+        """Human-readable layer name used in sensitivity reports."""
+        return type(self).__name__
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def attach_rng(self, rng: np.random.Generator) -> None:
+        """Give stochastic layers (Dropout) their random source."""
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Copy of all arrays exchanged in FL: params plus buffers."""
+        out = {k: v.copy() for k, v in self.params.items()}
+        out.update({k: v.copy() for k, v in self.buffers.items()})
+        return out
+
+    def set_state(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state` (in-place, shape-checked)."""
+        for key, value in state.items():
+            if key in self.params:
+                target = self.params[key]
+            elif key in self.buffers:
+                target = self.buffers[key]
+            else:
+                raise KeyError(f"{self.name} has no state array {key!r}")
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"{self.name}.{key}: shape {value.shape} != {target.shape}")
+            target[...] = value
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.params.values())
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, *, scheme: str = "he") -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["W"] = init_schemes.initialize(
+            rng, (in_features, out_features), in_features, out_features, scheme)
+        self.params["b"] = np.zeros(out_features)
+
+    @property
+    def name(self) -> str:
+        return f"Dense({self.in_features}x{self.out_features})"
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grads["W"] = self._x.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        out = grad @ self.params["W"].T
+        self._x = None
+        return out
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            pad: int) -> tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N, out_h, out_w, C*kh*kw) patches."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, -1)
+    return cols, out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int,
+            kw: int, stride: int, pad: int) -> np.ndarray:
+    """Inverse of :func:`_im2col` — scatter-add patches back to an image."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride,
+                   j:j + stride * out_w:stride] += patches[:, :, :, :, i, j] \
+                .transpose(0, 3, 1, 2)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col (NCHW layout)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, *, stride: int = 1, padding: int = 0,
+                 scheme: str = "he") -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        fan_out = out_channels * kernel_size * kernel_size
+        self.params["W"] = init_schemes.initialize(
+            rng, (out_channels, in_channels, kernel_size, kernel_size),
+            fan_in, fan_out, scheme)
+        self.params["b"] = np.zeros(out_channels)
+
+    @property
+    def name(self) -> str:
+        return (f"Conv2d({self.in_channels}->{self.out_channels},"
+                f"k{self.kernel_size})")
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, out_h, out_w = _im2col(x, k, k, s, p)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_flat.T + self.params["b"]
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        n, _, out_h, out_w = grad.shape
+        grad_flat = grad.transpose(0, 2, 3, 1)
+        cols2d = self._cols.reshape(-1, self._cols.shape[-1])
+        grad2d = grad_flat.reshape(-1, self.out_channels)
+        self.grads["W"] = (grad2d.T @ cols2d).reshape(self.params["W"].shape)
+        self.grads["b"] = grad2d.sum(axis=0)
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        dcols = grad_flat @ w_flat
+        out = _col2im(dcols, self._x_shape, k, k, s, p)
+        self._cols = None
+        return out
+
+
+class Conv1d(Layer):
+    """1-D convolution (NCL layout) — used by the audio classifier."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, *, stride: int = 1, padding: int = 0,
+                 scheme: str = "he") -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.params["W"] = init_schemes.initialize(
+            rng, (out_channels, in_channels, kernel_size), fan_in,
+            out_channels * kernel_size, scheme)
+        self.params["b"] = np.zeros(out_channels)
+
+    @property
+    def name(self) -> str:
+        return (f"Conv1d({self.in_channels}->{self.out_channels},"
+                f"k{self.kernel_size})")
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        x4 = x[:, :, None, :]  # treat length as width of a height-1 image
+        if p:
+            x4 = np.pad(x4, ((0, 0), (0, 0), (0, 0), (p, p)))
+        cols, _, _ = _im2col(x4, 1, k, s, 0)
+        self._cols = cols
+        self._x4_shape = x4.shape
+        self._pad = p
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_flat.T + self.params["b"]  # (n, 1, out_l, C_out)
+        return out[:, 0].transpose(0, 2, 1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k, s = self.kernel_size, self.stride
+        grad4 = grad.transpose(0, 2, 1)[:, None, :, :]  # (n,1,out_l,C_out)
+        cols2d = self._cols.reshape(-1, self._cols.shape[-1])
+        grad2d = grad4.reshape(-1, self.out_channels)
+        self.grads["W"] = (grad2d.T @ cols2d).reshape(self.params["W"].shape)
+        self.grads["b"] = grad2d.sum(axis=0)
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        dcols = grad4 @ w_flat
+        dx4 = _col2im(dcols, self._x4_shape, 1, k, s, 0)
+        self._cols = None
+        if self._pad:
+            dx4 = dx4[:, :, :, self._pad:-self._pad]
+        return dx4[:, :, 0, :]
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping 2-D max pooling (stride == kernel size)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(f"MaxPool2d({k}) needs H, W divisible by {k}, "
+                             f"got {h}x{w}")
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        out = blocks.max(axis=(3, 5))
+        self._mask = blocks == out[:, :, :, None, :, None]
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        expanded = grad[:, :, :, None, :, None] * self._mask
+        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        expanded = expanded / counts  # split ties evenly to keep grads exact
+        self._mask = None
+        return expanded.reshape(n, c, h, w)
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping 2-D average pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(f"AvgPool2d({k}) needs H, W divisible by {k}, "
+                             f"got {h}x{w}")
+        self._x_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        scale = 1.0 / (k * k)
+        out = np.broadcast_to(
+            grad[:, :, :, None, :, None] * scale,
+            (n, c, h // k, k, w // k, k))
+        return out.reshape(n, c, h, w)
+
+
+class MaxPool1d(Layer):
+    """Non-overlapping 1-D max pooling for audio nets."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        n, c, length = x.shape
+        k = self.kernel_size
+        if length % k:
+            raise ValueError(f"MaxPool1d({k}) needs L divisible by {k}, "
+                             f"got {length}")
+        blocks = x.reshape(n, c, length // k, k)
+        out = blocks.max(axis=3)
+        self._mask = blocks == out[:, :, :, None]
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        counts = self._mask.sum(axis=3, keepdims=True)
+        expanded = grad[:, :, :, None] * self._mask / counts
+        self._mask = None
+        return expanded.reshape(self._x_shape)
+
+
+class Flatten(Layer):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, rate: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng: np.random.Generator | None = None
+
+    def attach_rng(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        if self._rng is None:
+            raise RuntimeError("Dropout used without an attached rng")
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        out = grad * self._mask
+        self._mask = None
+        return out
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over feature vectors (N, F)."""
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(num_features)
+        self.params["beta"] = np.zeros(num_features)
+        self.buffers["running_mean"] = np.zeros(num_features)
+        self.buffers["running_var"] = np.ones(num_features)
+
+    @property
+    def name(self) -> str:
+        return f"BatchNorm1d({self.num_features})"
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.buffers["running_mean"] *= 1.0 - self.momentum
+            self.buffers["running_mean"] += self.momentum * mean
+            self.buffers["running_var"] *= 1.0 - self.momentum
+            self.buffers["running_var"] += self.momentum * var
+        else:
+            mean = self.buffers["running_mean"]
+            var = self.buffers["running_var"]
+        self._std = np.sqrt(var + self.eps)
+        self._xhat = (x - mean) / self._std
+        return self.params["gamma"] * self._xhat + self.params["beta"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, std = self._xhat, self._std
+        n = grad.shape[0]
+        self.grads["gamma"] = (grad * xhat).sum(axis=0)
+        self.grads["beta"] = grad.sum(axis=0)
+        dxhat = grad * self.params["gamma"]
+        out = (dxhat - dxhat.mean(axis=0)
+               - xhat * (dxhat * xhat).mean(axis=0)) / std
+        self._xhat = None
+        self._std = None
+        return out

@@ -1,0 +1,78 @@
+"""Loss functions.
+
+Losses expose both a batch-mean ``forward``/``backward`` pair for training
+and a ``per_example`` view — per-sample losses are the raw material of
+membership inference (Fig. 3's loss distributions, the Yeom attack, and
+the attack-feature extraction all consume them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+class Loss:
+    """Loss protocol: forward caches, backward returns dL/dlogits."""
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def per_example(self, logits: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy on integer class labels."""
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        self._probs = softmax(logits)
+        self._targets = targets
+        logp = log_softmax(logits)
+        return float(-logp[np.arange(len(targets)), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        n = len(self._targets)
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        grad /= n
+        self._probs = None
+        self._targets = None
+        return grad
+
+    def per_example(self, logits: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        logp = log_softmax(logits)
+        return -logp[np.arange(len(targets)), targets]
+
+
+class MSELoss(Loss):
+    """Mean squared error against one-hot or real-valued targets."""
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        self._diff = logits - targets
+        return float((self._diff ** 2).mean())
+
+    def backward(self) -> np.ndarray:
+        grad = 2.0 * self._diff / self._diff.size
+        self._diff = None
+        return grad
+
+    def per_example(self, logits: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        return ((logits - targets) ** 2).mean(axis=tuple(
+            range(1, logits.ndim)))

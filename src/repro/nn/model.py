@@ -1,0 +1,216 @@
+"""Sequential model with layer-indexed weight access.
+
+The federated substrate exchanges :data:`Weights` — a list with one
+``{name: array}`` dict per *parameter-carrying* layer, ordered front to
+back.  That layer-indexed representation is exactly the handle DINAR
+needs: "obfuscate layer p" is ``weights[p] = random``, "personalize layer
+p" is ``weights[p] = stored_private_layer``.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, softmax
+
+#: One dict of named arrays per parameter-carrying layer, front to back.
+Weights = list[dict[str, np.ndarray]]
+
+
+class Model:
+    """A feed-forward stack of :class:`~repro.nn.layers.Layer` objects."""
+
+    def __init__(self, layers: Sequence[Layer], *,
+                 rng: np.random.Generator | None = None,
+                 name: str = "model") -> None:
+        self.layers = list(layers)
+        self.name = name
+        if rng is not None:
+            self.attach_rng(rng)
+
+    def attach_rng(self, rng: np.random.Generator) -> None:
+        """Provide the random source consumed by stochastic layers."""
+        for layer in self.layers:
+            layer.attach_rng(rng)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def trainable(self) -> list[Layer]:
+        """Parameter-carrying layers, the granularity of DINAR's index p."""
+        return [layer for layer in self.layers if layer.has_params]
+
+    @property
+    def num_trainable_layers(self) -> int:
+        """The paper's J: how many layers carry parameters."""
+        return len(self.trainable)
+
+    def layer_names(self) -> list[str]:
+        """Names of the parameter-carrying layers, front to back."""
+        return [layer.name for layer in self.trainable]
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count across the whole network."""
+        return sum(layer.num_parameters() for layer in self.trainable)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray,
+                      loss: Loss) -> float:
+        """One forward + backward pass; layer ``grads`` are left populated."""
+        logits = self.forward(x, training=True)
+        value = loss.forward(logits, y)
+        self.backward(loss.backward())
+        return value
+
+    def per_layer_gradient_vectors(self, x: np.ndarray, y: np.ndarray,
+                                   loss: Loss) -> list[np.ndarray]:
+        """Flattened gradient per trainable layer for one batch.
+
+        This is the measurement underlying the paper's §3 layer-leakage
+        analysis: gradients of each layer produced by predictions on a
+        batch of (member or non-member) samples.
+        """
+        self.loss_and_grad(x, y, loss)
+        return [
+            np.concatenate([g.ravel() for g in layer.grads.values()])
+            for layer in self.trainable
+        ]
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict_logits(self, x: np.ndarray, *,
+                       batch_size: int = 256) -> np.ndarray:
+        """Logits in evaluation mode, batched to bound memory."""
+        outputs = [
+            self.forward(x[i:i + batch_size], training=False)
+            for i in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities in evaluation mode."""
+        return softmax(self.predict_logits(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions in evaluation mode."""
+        return self.predict_logits(x).argmax(axis=-1)
+
+    # ------------------------------------------------------------------
+    # weight exchange
+    # ------------------------------------------------------------------
+    def get_weights(self) -> Weights:
+        """Deep copy of all exchanged arrays, one dict per trainable layer."""
+        return [layer.state() for layer in self.trainable]
+
+    def set_weights(self, weights: Weights) -> None:
+        """Load weights produced by :meth:`get_weights` (shape-checked)."""
+        trainable = self.trainable
+        if len(weights) != len(trainable):
+            raise ValueError(
+                f"{self.name}: got {len(weights)} layer dicts, "
+                f"model has {len(trainable)} trainable layers")
+        for layer, state in zip(trainable, weights):
+            layer.set_state(state)
+
+    def clone(self) -> "Model":
+        """Structural deep copy (weights included)."""
+        return copy.deepcopy(self)
+
+
+# ----------------------------------------------------------------------
+# weight arithmetic helpers (used by aggregation, defenses and attacks)
+# ----------------------------------------------------------------------
+
+def weights_map(fn: Callable[[np.ndarray], np.ndarray],
+                weights: Weights) -> Weights:
+    """Apply ``fn`` to every array, returning a new weight structure."""
+    return [{k: fn(v) for k, v in layer.items()} for layer in weights]
+
+
+def weights_zip_map(fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                    a: Weights, b: Weights) -> Weights:
+    """Combine two parallel weight structures element-wise."""
+    if len(a) != len(b):
+        raise ValueError(f"weight structures differ: {len(a)} vs {len(b)}")
+    out: Weights = []
+    for la, lb in zip(a, b):
+        if la.keys() != lb.keys():
+            raise ValueError(f"layer keys differ: {sorted(la)} vs {sorted(lb)}")
+        out.append({k: fn(la[k], lb[k]) for k in la})
+    return out
+
+
+def zeros_like_weights(weights: Weights) -> Weights:
+    """A zero-filled structure with the same shapes."""
+    return weights_map(np.zeros_like, weights)
+
+
+def weights_like(weights: Weights, rng: np.random.Generator, *,
+                 scale: float = 1.0) -> Weights:
+    """Gaussian random structure with the same shapes (obfuscation noise)."""
+    return weights_map(
+        lambda v: rng.standard_normal(v.shape) * scale, weights)
+
+
+def flatten_weights(weights: Weights) -> np.ndarray:
+    """Concatenate every array into one vector (key-sorted per layer)."""
+    parts = [
+        layer[k].ravel() for layer in weights for k in sorted(layer)
+    ]
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def unflatten_weights(vector: np.ndarray, template: Weights) -> Weights:
+    """Inverse of :func:`flatten_weights` given a shape template."""
+    out: Weights = []
+    offset = 0
+    for layer in template:
+        rebuilt: dict[str, np.ndarray] = {}
+        for k in sorted(layer):
+            size = layer[k].size
+            rebuilt[k] = vector[offset:offset + size] \
+                .reshape(layer[k].shape).copy()
+            offset += size
+        out.append(rebuilt)
+    if offset != vector.size:
+        raise ValueError(
+            f"vector has {vector.size} entries, template needs {offset}")
+    return out
+
+
+def weights_l2_norm(weights: Weights) -> float:
+    """Global L2 norm across every exchanged array."""
+    total = sum(float((v ** 2).sum()) for layer in weights
+                for v in layer.values())
+    return float(np.sqrt(total))
+
+
+def weights_allclose(a: Weights, b: Weights, *, atol: float = 1e-9) -> bool:
+    """Whether two weight structures are numerically identical."""
+    if len(a) != len(b):
+        return False
+    for la, lb in zip(a, b):
+        if la.keys() != lb.keys():
+            return False
+        for k in la:
+            if not np.allclose(la[k], lb[k], atol=atol):
+                return False
+    return True

@@ -1,0 +1,242 @@
+"""Optimizers.
+
+``Adagrad`` implements Algorithm 1 (lines 8–14) of the paper verbatim:
+cumulative squared gradients ``G`` and the update
+``theta <- theta - lr * g / sqrt(G + 1e-5)`` (the stabilizer sits *inside*
+the square root, as written in the paper).  The remaining optimizers back
+the Fig. 11 ablation study: Adam, AdaMax, RMSProp, plain/momentum SGD and
+ADGD (Malitsky & Mishchenko's adaptive gradient descent without descent).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.model import Model
+
+
+class Optimizer:
+    """Base optimizer bound to a model.
+
+    State is keyed by ``(trainable_layer_index, param_name)`` so that a
+    client can keep its optimizer across FL rounds even though the model
+    weights are overwritten by the server at the start of each round.
+    """
+
+    def __init__(self, model: Model, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.state: dict[tuple[int, str], np.ndarray] = {}
+        self.steps = 0
+
+    def step(self) -> None:
+        """Apply one update from the gradients currently on the model."""
+        self.steps += 1
+        for idx, layer in enumerate(self.model.trainable):
+            for key, param in layer.params.items():
+                grad = layer.grads.get(key)
+                if grad is None:
+                    raise RuntimeError(
+                        f"no gradient for {layer.name}.{key}; run "
+                        "loss_and_grad before step()")
+                self._update(idx, key, param, grad)
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop accumulated state (fresh start, e.g. for a new FL task)."""
+        self.state.clear()
+        self.steps = 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, model: Model, lr: float,
+                 momentum: float = 0.0) -> None:
+        super().__init__(model, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        if self.momentum:
+            buf = self.state.setdefault((idx, key), np.zeros_like(param))
+            buf *= self.momentum
+            buf += grad
+            param -= self.lr * buf
+        else:
+            param -= self.lr * grad
+
+
+class Adagrad(Optimizer):
+    """The paper's adaptive model training (Algorithm 1, lines 8–14)."""
+
+    def __init__(self, model: Model, lr: float, eps: float = 1e-5) -> None:
+        super().__init__(model, lr)
+        self.eps = eps
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        accum = self.state.setdefault((idx, key), np.zeros_like(param))
+        accum += grad ** 2
+        param -= self.lr * grad / np.sqrt(accum + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decayed squared-gradient average."""
+
+    def __init__(self, model: Model, lr: float, decay: float = 0.9,
+                 eps: float = 1e-8) -> None:
+        super().__init__(model, lr)
+        self.decay = decay
+        self.eps = eps
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        accum = self.state.setdefault((idx, key), np.zeros_like(param))
+        accum *= self.decay
+        accum += (1.0 - self.decay) * grad ** 2
+        param -= self.lr * grad / (np.sqrt(accum) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, model: Model, lr: float, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__(model, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        m = self.state.setdefault((idx, key, "m"), np.zeros_like(param))
+        v = self.state.setdefault((idx, key, "v"), np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad ** 2
+        m_hat = m / (1.0 - self.beta1 ** self.steps)
+        v_hat = v / (1.0 - self.beta2 ** self.steps)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaMax(Optimizer):
+    """AdaMax — the infinity-norm variant of Adam (Kingma & Ba, 2015)."""
+
+    def __init__(self, model: Model, lr: float, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__(model, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:
+        m = self.state.setdefault((idx, key, "m"), np.zeros_like(param))
+        u = self.state.setdefault((idx, key, "u"), np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        np.maximum(self.beta2 * u, np.abs(grad), out=u)
+        m_hat = m / (1.0 - self.beta1 ** self.steps)
+        param -= self.lr * m_hat / (u + self.eps)
+
+
+class ADGD(Optimizer):
+    """Adaptive gradient descent without descent (Malitsky & Mishchenko).
+
+    A single scalar step size is adapted from the observed local
+    smoothness ``||x_k - x_{k-1}|| / (2 ||g_k - g_{k-1}||)``; no
+    hyper-parameter beyond the initial step.
+
+    The original rule targets deterministic gradients.  With minibatch
+    noise the smoothness estimate ``dx / (2 dg)`` is corrupted in both
+    directions — gradient noise inflates ``dg`` (collapsing the step
+    to zero) while the ``sqrt(1 + theta)`` growth path can run away —
+    so the adapted step is clamped to ``[lr / cap_factor,
+    lr * cap_factor]``, a standard stochastic safeguard.
+    """
+
+    def __init__(self, model: Model, lr: float,
+                 cap_factor: float = 2.0) -> None:
+        super().__init__(model, lr)
+        if cap_factor <= 1.0:
+            raise ValueError(f"cap_factor must be > 1, got {cap_factor}")
+        self._cap = cap_factor * lr
+        self._floor = lr / cap_factor
+        self._lam = lr
+        self._theta = float("inf")
+        self._prev_params: list[np.ndarray] | None = None
+        self._prev_grads: list[np.ndarray] | None = None
+
+    def step(self) -> None:
+        self.steps += 1
+        params, grads = [], []
+        for layer in self.model.trainable:
+            for key in layer.params:
+                params.append(layer.params[key])
+                grads.append(layer.grads[key].copy())
+
+        if self._prev_params is not None:
+            dx = math.sqrt(sum(
+                float(((p - q) ** 2).sum())
+                for p, q in zip(params, self._prev_params)))
+            dg = math.sqrt(sum(
+                float(((g - h) ** 2).sum())
+                for g, h in zip(grads, self._prev_grads)))
+            candidate = math.sqrt(1.0 + self._theta) * self._lam
+            if dg > 1e-12:
+                candidate = min(candidate, dx / (2.0 * dg))
+            candidate = min(max(candidate, self._floor), self._cap)
+            self._theta = candidate / self._lam
+            self._lam = candidate
+
+        self._prev_params = [p.copy() for p in params]
+        self._prev_grads = grads
+        for param, grad in zip(params, grads):
+            param -= self._lam * grad
+
+    def _update(self, idx: int, key: str, param: np.ndarray,
+                grad: np.ndarray) -> None:  # pragma: no cover - unused
+        raise RuntimeError("ADGD overrides step() directly")
+
+    def reset(self) -> None:
+        super().reset()
+        self._lam = self.lr
+        self._theta = float("inf")
+        self._prev_params = None
+        self._prev_grads = None
+
+
+_REGISTRY = {
+    "sgd": SGD,
+    "adagrad": Adagrad,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+    "adamax": AdaMax,
+    "adgd": ADGD,
+}
+
+
+def make_optimizer(name: str, model: Model, lr: float, **kwargs) -> Optimizer:
+    """Build an optimizer by name (the Fig. 11 ablation switch)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; known: {sorted(_REGISTRY)}") from None
+    return cls(model, lr, **kwargs)
+
+
+def optimizer_names() -> list[str]:
+    """Names accepted by :func:`make_optimizer`."""
+    return sorted(_REGISTRY)

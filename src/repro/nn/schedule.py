@@ -1,0 +1,101 @@
+"""Learning-rate schedules.
+
+Schedules wrap an optimizer and adjust its ``lr`` per step or per
+epoch. Kept deliberately simple: a schedule is a callable
+``step_index -> multiplier`` applied to the optimizer's base rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRSchedule:
+    """Base schedule: constant multiplier 1."""
+
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class StepDecay(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def multiplier(self, step: int) -> float:
+        return self.gamma ** (step // self.step_size)
+
+
+class CosineDecay(LRSchedule):
+    """Cosine annealing from 1 down to ``floor`` over ``total_steps``."""
+
+    def __init__(self, total_steps: int, floor: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ValueError(
+                f"total_steps must be >= 1, got {total_steps}")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        self.total_steps = total_steps
+        self.floor = floor
+
+    def multiplier(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (1.0 - self.floor) * cosine
+
+
+class WarmupSchedule(LRSchedule):
+    """Linear ramp from 0 to 1 over ``warmup_steps``, then delegate."""
+
+    def __init__(self, warmup_steps: int,
+                 after: LRSchedule | None = None) -> None:
+        if warmup_steps < 1:
+            raise ValueError(
+                f"warmup_steps must be >= 1, got {warmup_steps}")
+        self.warmup_steps = warmup_steps
+        self.after = after or LRSchedule()
+
+    def multiplier(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return (step + 1) / self.warmup_steps
+        return self.after.multiplier(step - self.warmup_steps)
+
+
+class ScheduledOptimizer:
+    """Wrap an optimizer so every ``step()`` applies the schedule."""
+
+    def __init__(self, optimizer: Optimizer,
+                 schedule: LRSchedule) -> None:
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.base_lr = optimizer.lr
+        self._step = 0
+
+    @property
+    def lr(self) -> float:
+        """The rate the *next* step will use."""
+        return self.base_lr * self.schedule.multiplier(self._step)
+
+    def step(self) -> None:
+        self.optimizer.lr = self.lr
+        self.optimizer.step()
+        self._step += 1
+
+    def notify_batch_size(self, batch_size: int) -> None:
+        """Forward DP-SGD's batch-size hint when present."""
+        notify = getattr(self.optimizer, "notify_batch_size", None)
+        if notify is not None:
+            notify(batch_size)
+
+    def reset(self) -> None:
+        self.optimizer.lr = self.base_lr
+        self.optimizer.reset()
+        self._step = 0

@@ -1,0 +1,68 @@
+"""Weight and experiment serialization.
+
+Weights round-trip through ``.npz`` archives (one array per
+``layer<idx>/<name>`` key), which lets a deployment checkpoint global
+models between rounds, ship shadow models to an attacker process, or
+archive the exact model a benchmark attacked.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.nn.model import Weights
+
+
+def save_weights(weights: Weights, path: str | pathlib.Path) -> None:
+    """Write a weight structure to an ``.npz`` archive."""
+    arrays = {
+        f"layer{idx}/{key}": value
+        for idx, layer in enumerate(weights)
+        for key, value in layer.items()
+    }
+    if not arrays:
+        raise ValueError("cannot save an empty weight structure")
+    np.savez(path, **arrays)
+
+
+def load_weights(path: str | pathlib.Path) -> Weights:
+    """Read a weight structure written by :func:`save_weights`."""
+    with np.load(path) as archive:
+        layers: dict[int, dict[str, np.ndarray]] = {}
+        for name in archive.files:
+            prefix, key = name.split("/", 1)
+            idx = int(prefix.removeprefix("layer"))
+            layers.setdefault(idx, {})[key] = archive[name]
+    if sorted(layers) != list(range(len(layers))):
+        raise ValueError(f"archive has non-contiguous layer indices: "
+                         f"{sorted(layers)}")
+    return [layers[idx] for idx in range(len(layers))]
+
+
+def experiment_result_to_dict(result) -> dict:
+    """JSON-ready summary of an ExperimentResult (drops the simulation)."""
+    costs = result.costs
+    return {
+        "dataset": result.dataset,
+        "defense": result.defense,
+        "attack": result.attack,
+        "global_auc": result.global_auc,
+        "local_auc": result.local_auc,
+        "global_accuracy": result.global_accuracy,
+        "client_accuracy": result.client_accuracy,
+        "costs": {
+            "train_seconds_per_round": costs.train_seconds_per_round,
+            "aggregate_seconds_per_round":
+                costs.aggregate_seconds_per_round,
+            "defense_state_bytes": costs.defense_state_bytes,
+        },
+    }
+
+
+def save_experiment_result(result, path: str | pathlib.Path) -> None:
+    """Write an ExperimentResult summary as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(experiment_result_to_dict(result), indent=2) + "\n")

@@ -1,0 +1,50 @@
+"""Membership inference attacks and privacy metrics (Appendix A)."""
+
+from repro.privacy.attacks.calibrated import ReferenceCalibratedAttack
+from repro.privacy.attacks.features import attack_features, FEATURE_NAMES
+from repro.privacy.attacks.gradient import (
+    LayerGradientAttack,
+    layer_gradient_scores,
+    per_example_layer_gradient_norms,
+)
+from repro.privacy.attacks.inversion import (
+    class_inversion_report,
+    invert_class,
+    inversion_fidelity,
+)
+from repro.privacy.attacks.metrics import (
+    attack_auc,
+    global_model_auc,
+    local_models_auc,
+    roc_auc,
+)
+from repro.privacy.attacks.roc import auc_from_curve, roc_curve, tpr_at_fpr
+from repro.privacy.attacks.shadow import ShadowAttack
+from repro.privacy.attacks.threshold import (
+    ConfidenceThresholdAttack,
+    EntropyThresholdAttack,
+    LossThresholdAttack,
+)
+
+__all__ = [
+    "ConfidenceThresholdAttack",
+    "EntropyThresholdAttack",
+    "FEATURE_NAMES",
+    "LayerGradientAttack",
+    "LossThresholdAttack",
+    "ReferenceCalibratedAttack",
+    "ShadowAttack",
+    "attack_auc",
+    "attack_features",
+    "auc_from_curve",
+    "class_inversion_report",
+    "global_model_auc",
+    "invert_class",
+    "inversion_fidelity",
+    "layer_gradient_scores",
+    "local_models_auc",
+    "per_example_layer_gradient_norms",
+    "roc_auc",
+    "roc_curve",
+    "tpr_at_fpr",
+]

@@ -1,0 +1,73 @@
+"""Attack feature extraction.
+
+A MIA observes a model's behaviour on a candidate sample.  The standard
+black-box observation vector (Shokri et al. [41]; Jia et al. [13])
+combines the per-sample loss with confidence-vector statistics; members
+of the training set systematically show lower loss, higher confidence
+and lower entropy than non-members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import log_softmax
+from repro.nn.model import Model
+
+#: Logit magnitude cap applied before feature extraction.  A defended
+#: model can diverge to inf/NaN outputs (e.g. heavy CDP noise); the
+#: attacker still has to produce finite scores, so non-finite logits
+#: are mapped to this saturated-but-finite range (which makes a
+#: destroyed model look like an uninformative one, AUC ~ 50).
+LOGIT_CAP = 1e4
+
+#: Column names of :func:`attack_features` output.
+FEATURE_NAMES = (
+    "loss",
+    "true_class_prob",
+    "max_prob",
+    "entropy",
+    "margin",
+    "correct",
+)
+
+
+def attack_features(model: Model, x: np.ndarray,
+                    y: np.ndarray) -> np.ndarray:
+    """Per-sample observation matrix of shape ``(n, 6)``.
+
+    Columns: cross-entropy loss, probability of the true class, max
+    probability, prediction entropy, top1-top2 margin, and whether the
+    prediction is correct.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    logits = _sanitize_logits(model.predict_logits(x))
+    logp = log_softmax(logits)
+    probs = np.exp(logp)
+    n = len(y)
+    idx = np.arange(n)
+    loss = -logp[idx, y]
+    true_prob = probs[idx, y]
+    sorted_probs = np.sort(probs, axis=1)
+    max_prob = sorted_probs[:, -1]
+    margin = max_prob - sorted_probs[:, -2]
+    entropy = -(probs * np.clip(logp, -60.0, None)).sum(axis=1)
+    correct = (logits.argmax(axis=1) == y).astype(np.float64)
+    return np.column_stack(
+        [loss, true_prob, max_prob, entropy, margin, correct])
+
+
+def per_example_loss(model: Model, x: np.ndarray,
+                     y: np.ndarray) -> np.ndarray:
+    """Cross-entropy loss per sample (Fig. 3's raw material)."""
+    logits = _sanitize_logits(model.predict_logits(x))
+    logp = log_softmax(logits)
+    return -logp[np.arange(len(y)), y]
+
+
+def _sanitize_logits(logits: np.ndarray) -> np.ndarray:
+    """Clamp logits to a finite range (see :data:`LOGIT_CAP`)."""
+    return np.clip(np.nan_to_num(logits, nan=0.0, posinf=LOGIT_CAP,
+                                 neginf=-LOGIT_CAP),
+                   -LOGIT_CAP, LOGIT_CAP)

@@ -1,0 +1,73 @@
+"""Metric-threshold membership inference attacks.
+
+The cheapest effective MIAs score candidates by a single observable:
+
+* :class:`LossThresholdAttack` (Yeom et al., 2018) — members have
+  systematically lower loss;
+* :class:`ConfidenceThresholdAttack` (Salem et al., 2019) — members
+  get higher predicted-class confidence;
+* :class:`EntropyThresholdAttack` (Song & Mittal, 2021) — the
+  *modified* prediction entropy, which also accounts for the true
+  label, separates members from non-members better than raw entropy.
+
+AUC over these scores needs no attack training at all, which makes
+them the workhorse attackers for parameter sweeps; the shadow attack
+(:mod:`repro.privacy.attacks.shadow`) is the paper's headline
+Shokri-style attacker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import log_softmax
+from repro.nn.model import Model
+from repro.privacy.attacks.features import _sanitize_logits, per_example_loss
+
+
+class LossThresholdAttack:
+    """Score candidates by negative per-sample loss (Yeom et al.)."""
+
+    name = "loss_threshold"
+
+    def score(self, model: Model, x: np.ndarray,
+              y: np.ndarray) -> np.ndarray:
+        """Higher score = more likely a member."""
+        return -per_example_loss(model, x, y)
+
+
+class ConfidenceThresholdAttack:
+    """Score candidates by the model's confidence in its prediction."""
+
+    name = "confidence_threshold"
+
+    def score(self, model: Model, x: np.ndarray,
+              y: np.ndarray) -> np.ndarray:
+        logits = _sanitize_logits(model.predict_logits(x))
+        probs = np.exp(log_softmax(logits))
+        return probs.max(axis=1)
+
+
+class EntropyThresholdAttack:
+    """Score candidates by negative *modified* prediction entropy.
+
+    Modified entropy (Song & Mittal, 2021) treats the true class
+    specially: ``-(1-p_y) log(p_y) - sum_{c!=y} p_c log(1-p_c)``.
+    Members — confidently correct — have near-zero modified entropy.
+    """
+
+    name = "entropy_threshold"
+
+    def score(self, model: Model, x: np.ndarray,
+              y: np.ndarray) -> np.ndarray:
+        logits = _sanitize_logits(model.predict_logits(x))
+        probs = np.exp(log_softmax(logits))
+        eps = 1e-12
+        n = len(y)
+        idx = np.arange(n)
+        p_true = probs[idx, y]
+        term_true = -(1.0 - p_true) * np.log(p_true + eps)
+        log_one_minus = np.log(1.0 - probs + eps)
+        term_rest = -(probs * log_one_minus).sum(axis=1) \
+            + probs[idx, y] * log_one_minus[idx, y]
+        return -(term_true + term_rest)

@@ -1,0 +1,62 @@
+"""The five state-of-the-art FL defenses the paper compares against.
+
+DINAR itself lives in :mod:`repro.core.dinar`; ``make_defense`` builds
+any defense (including DINAR and the no-defense baseline) by its paper
+name, with the paper's §5.2 parameterization as defaults.
+"""
+
+from __future__ import annotations
+
+from repro.privacy.defenses.accounting import (
+    PrivacyAccountant,
+    advanced_composition,
+    basic_composition,
+    gaussian_sigma,
+)
+from repro.privacy.defenses.base import Defense
+from repro.privacy.defenses.cdp import CentralDP
+from repro.privacy.defenses.compression import GradientCompression
+from repro.privacy.defenses.ldp import LocalDP, clip_weights
+from repro.privacy.defenses.secure_aggregation import SecureAggregation
+from repro.privacy.defenses.wdp import WeakDP
+
+
+def make_defense(name: str, **kwargs) -> Defense:
+    """Build a defense by its paper name.
+
+    Accepted names: ``none``, ``ldp``, ``cdp``, ``wdp``, ``gc``, ``sa``,
+    ``dinar``.  Keyword arguments are forwarded to the constructor.
+    """
+    key = name.lower()
+    if key in ("none", "no_defense", "nodefense"):
+        return Defense()
+    if key == "ldp":
+        return LocalDP(**kwargs)
+    if key == "cdp":
+        return CentralDP(**kwargs)
+    if key == "wdp":
+        return WeakDP(**kwargs)
+    if key == "gc":
+        return GradientCompression(**kwargs)
+    if key == "sa":
+        return SecureAggregation(**kwargs)
+    if key == "dinar":
+        from repro.core.dinar import DINAR
+        return DINAR(**kwargs)
+    raise ValueError(f"unknown defense {name!r}")
+
+
+__all__ = [
+    "CentralDP",
+    "Defense",
+    "GradientCompression",
+    "LocalDP",
+    "PrivacyAccountant",
+    "SecureAggregation",
+    "WeakDP",
+    "advanced_composition",
+    "basic_composition",
+    "clip_weights",
+    "gaussian_sigma",
+    "make_defense",
+]

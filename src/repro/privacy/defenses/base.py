@@ -1,0 +1,81 @@
+"""Defense hook interface.
+
+A defense is a single object per federated run that intercepts the
+FL message flow at four points:
+
+* ``on_receive_global``  — client downloads the global model
+  (DINAR personalizes here);
+* ``on_send_update``     — client uploads its update
+  (DINAR obfuscates, LDP/WDP add noise, GC compresses, SA masks);
+* ``on_aggregate``       — server finishes aggregation
+  (CDP adds central noise);
+* ``on_round_start``     — per-round setup (SA negotiates pairwise
+  masks for the selected cohort).
+
+Per-client state (DINAR's stored private layers, SA's masks) is keyed
+by client id inside the defense object.  ``make_optimizer`` lets a
+defense impose its own local-training optimizer (DINAR's adaptive
+gradient descent); returning None keeps the experiment default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.model import Model, Weights
+from repro.nn.optim import Optimizer
+
+
+class Defense:
+    """No-op defense: the paper's "No Defense" baseline."""
+
+    name = "none"
+
+    #: When True the client transmits ``num_samples * weights`` (plus any
+    #: masking) and the server divides the plain sum by total samples —
+    #: the transmission protocol of secure aggregation.
+    pre_weighted = False
+
+    def on_round_start(self, round_index: int, client_ids: Sequence[int],
+                       template: Weights,
+                       rng: np.random.Generator) -> None:
+        """Per-round setup before any client trains."""
+
+    def on_receive_global(self, client_id: int,
+                          weights: Weights) -> Weights:
+        """Transform the downloaded global model for one client."""
+        return weights
+
+    def on_send_update(self, client_id: int, weights: Weights,
+                       num_samples: int,
+                       rng: np.random.Generator) -> Weights:
+        """Transform the update a client is about to upload."""
+        return weights
+
+    def on_aggregate(self, weights: Weights,
+                     rng: np.random.Generator) -> Weights:
+        """Transform the aggregated model on the server."""
+        return weights
+
+    def make_optimizer(self, model: Model, lr: float) -> Optimizer | None:
+        """Optionally impose a local-training optimizer."""
+        return None
+
+    def upload_nbytes(self, weights: Weights) -> int:
+        """Wire size of one transmitted update.
+
+        Defaults to a dense float64 encoding; defenses with a cheaper
+        wire format (gradient compression's sparse deltas) override.
+        """
+        from repro.fl.network import dense_nbytes
+        return dense_nbytes(weights)
+
+    def state_bytes(self) -> int:
+        """Extra bytes this defense keeps alive (Table 3 memory column)."""
+        return 0
+
+    def describe(self) -> str:
+        """One-line human-readable parameterization."""
+        return self.name

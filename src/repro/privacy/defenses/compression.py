@@ -1,0 +1,73 @@
+"""Gradient Compression (GC) baseline.
+
+Per §2.3/[7]: compression "reduce[s] the amount of information
+available for the attacker".  Implemented as top-k sparsification of
+the client's round delta (update minus the round's global model) with
+error feedback: coordinates dropped this round accumulate in a residual
+that is added back next round.  The residual store is exactly why the
+paper measures a large GC memory overhead ("storing the difference
+between original and compressed gradients").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import (
+    Weights,
+    flatten_weights,
+    unflatten_weights,
+    weights_zip_map,
+)
+from repro.privacy.defenses.base import Defense
+
+
+class GradientCompression(Defense):
+    """Top-k sparsification of round deltas with error feedback."""
+
+    name = "gc"
+
+    def __init__(self, *, keep_ratio: float = 0.1) -> None:
+        if not 0.0 < keep_ratio <= 1.0:
+            raise ValueError(
+                f"keep_ratio must be in (0, 1], got {keep_ratio}")
+        self.keep_ratio = keep_ratio
+        self._round_global: Weights | None = None
+        self._residuals: dict[int, np.ndarray] = {}
+
+    def on_round_start(self, round_index, client_ids, template, rng) -> None:
+        self._round_global = [
+            {k: v.copy() for k, v in layer.items()} for layer in template
+        ]
+
+    def on_send_update(self, client_id: int, weights: Weights,
+                       num_samples: int,
+                       rng: np.random.Generator) -> Weights:
+        if self._round_global is None:
+            raise RuntimeError("on_round_start was never called")
+        delta = weights_zip_map(np.subtract, weights, self._round_global)
+        flat = flatten_weights(delta)
+        residual = self._residuals.get(client_id)
+        if residual is not None:
+            flat = flat + residual
+        k = max(1, int(self.keep_ratio * flat.size))
+        threshold_idx = np.argpartition(np.abs(flat), flat.size - k)
+        sparse = np.zeros_like(flat)
+        keep_idx = threshold_idx[flat.size - k:]
+        sparse[keep_idx] = flat[keep_idx]
+        self._residuals[client_id] = flat - sparse
+        compressed_delta = unflatten_weights(sparse, delta)
+        return weights_zip_map(np.add, self._round_global, compressed_delta)
+
+    def upload_nbytes(self, weights: Weights) -> int:
+        """GC transmits the sparse delta, not the dense model."""
+        from repro.fl.network import sparse_nbytes
+        if self._round_global is None:
+            return super().upload_nbytes(weights)
+        return sparse_nbytes(weights, self._round_global)
+
+    def state_bytes(self) -> int:
+        return sum(r.nbytes for r in self._residuals.values())
+
+    def describe(self) -> str:
+        return f"gc(keep={self.keep_ratio})"

@@ -1,0 +1,62 @@
+"""Weak Differential Privacy (WDP) baseline.
+
+Per §2.3/[43] (Sun et al., "Can You Really Backdoor Federated
+Learning?") and §5.2: norm-bound each client's round *delta* (update
+minus the round's global model) to 5 and add Gaussian noise with
+sigma = 0.025.  Operating on deltas — not raw weights — is what makes
+the mechanism "weak": the bound rarely bites and the noise is small,
+so utility survives but the membership signal is only mildly damped
+(the paper's Fig. 6 shows WDP failing to reach 50%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Weights, weights_map, weights_zip_map
+from repro.privacy.defenses.base import Defense
+from repro.privacy.defenses.ldp import clip_weights
+
+
+class WeakDP(Defense):
+    """Norm-bounded round deltas + low-magnitude Gaussian noise."""
+
+    name = "wdp"
+
+    def __init__(self, *, norm_bound: float = 5.0,
+                 sigma: float = 0.025) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if norm_bound <= 0:
+            raise ValueError(f"norm_bound must be positive, "
+                             f"got {norm_bound}")
+        self.norm_bound = norm_bound
+        self.sigma = sigma
+        self._round_global: Weights | None = None
+        self._noise_buffer_bytes = 0
+
+    def on_round_start(self, round_index, client_ids, template,
+                       rng) -> None:
+        self._round_global = [
+            {k: v.copy() for k, v in layer.items()} for layer in template
+        ]
+
+    def on_send_update(self, client_id: int, weights: Weights,
+                       num_samples: int,
+                       rng: np.random.Generator) -> Weights:
+        if self._round_global is None:
+            raise RuntimeError("on_round_start was never called")
+        delta = weights_zip_map(np.subtract, weights, self._round_global)
+        bounded = clip_weights(delta, self.norm_bound)
+        noisy = weights_map(
+            lambda v: v + rng.normal(0.0, self.sigma, size=v.shape),
+            bounded)
+        self._noise_buffer_bytes = sum(
+            v.nbytes for layer in noisy for v in layer.values())
+        return weights_zip_map(np.add, self._round_global, noisy)
+
+    def state_bytes(self) -> int:
+        return self._noise_buffer_bytes
+
+    def describe(self) -> str:
+        return f"wdp(bound={self.norm_bound}, sigma={self.sigma})"

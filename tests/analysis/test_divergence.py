@@ -1,0 +1,89 @@
+"""Jensen-Shannon divergence tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.divergence import (
+    histogram_distribution,
+    jensen_shannon_divergence,
+    js_divergence_from_samples,
+    kl_divergence,
+)
+
+
+class TestHistogram:
+    def test_normalized(self, rng):
+        bins = np.linspace(0, 1, 11)
+        pmf = histogram_distribution(rng.random(100), bins)
+        assert np.isclose(pmf.sum(), 1.0)
+        assert np.all(pmf > 0)  # smoothing keeps support
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == 0.0
+
+    def test_positive_for_different(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.1, 0.9])
+        assert kl_divergence(p, q) > 0
+
+    def test_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != kl_divergence(q, p)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestJS:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.3, 0.4])
+        assert jensen_shannon_divergence(p, p) == 0.0
+
+    def test_symmetric(self, rng):
+        p = rng.random(10)
+        p /= p.sum()
+        q = rng.random(10)
+        q /= q.sum()
+        assert np.isclose(jensen_shannon_divergence(p, q),
+                          jensen_shannon_divergence(q, p))
+
+    def test_bounded_by_one_bit(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert np.isclose(jensen_shannon_divergence(p, q), 1.0)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence(np.array([1.0, 1.0]),
+                                      np.array([0.5, 0.5]))
+
+
+class TestFromSamples:
+    def test_identical_samples_near_zero(self, rng):
+        a = rng.standard_normal(1000)
+        assert js_divergence_from_samples(a, a) < 0.01
+
+    def test_disjoint_samples_near_one(self, rng):
+        a = rng.standard_normal(1000)
+        b = rng.standard_normal(1000) + 100
+        assert js_divergence_from_samples(a, b) > 0.9
+
+    def test_monotone_in_shift(self, rng):
+        a = rng.standard_normal(5000)
+        values = [
+            js_divergence_from_samples(a, a + shift)
+            for shift in (0.0, 0.5, 2.0, 8.0)
+        ]
+        assert values == sorted(values)
+
+    def test_constant_samples(self):
+        assert js_divergence_from_samples(np.ones(10), np.ones(10)) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            js_divergence_from_samples(np.array([]), np.array([1.0]))

@@ -1,0 +1,21 @@
+"""CLI analyze-command tests (kept tiny: it trains a model)."""
+
+from repro.cli import main
+
+
+def test_analyze_prints_layer_table(capsys, monkeypatch):
+    # shrink the analysis: monkeypatch the default config used by the
+    # CLI so the test stays fast
+    from repro.fl.config import FLConfig
+    import repro.cli as cli
+
+    def tiny_config(dataset, *, seed=0):
+        return FLConfig(num_clients=2, rounds=1, local_epochs=1,
+                        batch_size=32, seed=seed)
+
+    monkeypatch.setattr(cli, "default_config", tiny_config)
+    code = main(["analyze", "--dataset", "purchase100"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "membership leakage per layer" in out
+    assert "obfuscate this one" in out

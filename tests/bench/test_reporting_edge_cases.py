@@ -1,0 +1,27 @@
+"""Reporting edge cases."""
+
+from repro.bench.reporting import format_table, paper_vs_measured
+
+
+def test_empty_rows():
+    table = format_table(["a", "b"], [])
+    lines = table.splitlines()
+    assert len(lines) == 2  # header + separator only
+
+
+def test_number_formatting():
+    table = format_table(["x"], [[3.14159], [123.456], [7]])
+    assert "3.142" in table
+    assert "123.5" in table
+    assert "7" in table
+
+
+def test_paper_vs_measured_defaults():
+    row = paper_vs_measured("ldp", 50, 64.8)
+    assert row == ["ldp", "50", "64.8", ""]
+
+
+def test_wide_cells_align():
+    table = format_table(["metric"], [["a-very-long-cell-value"], ["x"]])
+    lines = table.splitlines()
+    assert len(lines[1]) == len(lines[2])  # separator spans the column

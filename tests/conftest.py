@@ -1,0 +1,87 @@
+"""Shared fixtures: tiny seeded datasets and models for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import Dataset, synthetic_tabular
+from repro.models.fcnn import build_fcnn
+from repro.nn.activations import ReLU, Tanh
+from repro.nn.layers import Dense
+from repro.nn.model import Model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> Dataset:
+    """120 samples, 20 features, 4 classes — separable but noisy."""
+    return synthetic_tabular(rng, 120, 20, 4, noise=0.2, name="tiny")
+
+
+@pytest.fixture
+def tiny_model(rng) -> Model:
+    """3 trainable layers over 20 features, 4 classes."""
+    return Model([
+        Dense(20, 16, rng), Tanh(),
+        Dense(16, 8, rng), ReLU(),
+        Dense(8, 4, rng),
+    ], rng=rng, name="tiny")
+
+
+@pytest.fixture
+def tiny_model_factory():
+    """Factory building fresh tiny models (3 trainable layers)."""
+    def factory(rng: np.random.Generator) -> Model:
+        return Model([
+            Dense(20, 16, rng), Tanh(),
+            Dense(16, 8, rng), ReLU(),
+            Dense(8, 4, rng),
+        ], rng=rng, name="tiny")
+    return factory
+
+
+@pytest.fixture
+def small_fcnn_factory():
+    """Factory for a small 4-hidden-layer FCNN (5 trainable layers)."""
+    def factory(rng: np.random.Generator) -> Model:
+        return build_fcnn(20, 4, rng, hidden=(16, 12, 8, 8))
+    return factory
+
+
+def numeric_gradient_check(model: Model, x: np.ndarray, y: np.ndarray,
+                           loss, rng: np.random.Generator, *,
+                           eps: float = 1e-5, samples_per_param: int = 4,
+                           training_forward: bool = False) -> float:
+    """Max relative error between analytic and numeric gradients."""
+    model.loss_and_grad(x, y, loss)
+    analytic = {
+        (i, k): layer.grads[k].copy()
+        for i, layer in enumerate(model.trainable)
+        for k in layer.params
+    }
+    max_err = 0.0
+    for i, layer in enumerate(model.trainable):
+        for key, param in layer.params.items():
+            flat = param.ravel()
+            idxs = rng.choice(flat.size,
+                              size=min(samples_per_param, flat.size),
+                              replace=False)
+            for j in idxs:
+                orig = flat[j]
+                flat[j] = orig + eps
+                up = loss.forward(
+                    model.forward(x, training=training_forward), y)
+                flat[j] = orig - eps
+                down = loss.forward(
+                    model.forward(x, training=training_forward), y)
+                flat[j] = orig
+                numeric = (up - down) / (2 * eps)
+                value = analytic[(i, key)].ravel()[j]
+                denom = max(1e-8, abs(numeric) + abs(value))
+                max_err = max(max_err, abs(numeric - value) / denom)
+    return max_err

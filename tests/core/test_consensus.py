@@ -1,0 +1,100 @@
+"""Broadcast distributed voting tests (§4.1), including Byzantine
+behaviour injection."""
+
+import pytest
+
+from repro.core.consensus import (
+    BroadcastVoting,
+    VotingNode,
+    agree_on_private_layer,
+)
+
+
+class TestHonestVoting:
+    def test_unanimous(self):
+        result = agree_on_private_layer({0: 5, 1: 5, 2: 5})
+        assert result.decided_value == 5
+        assert result.honest_agreement
+
+    def test_absolute_majority_wins(self):
+        result = agree_on_private_layer({0: 5, 1: 5, 2: 5, 3: 2, 4: 1})
+        assert result.decided_value == 5
+
+    def test_plurality_fallback_deterministic(self):
+        """No absolute majority: lowest-index plurality winner."""
+        result = agree_on_private_layer({0: 1, 1: 2, 2: 3})
+        assert result.decided_value in (1, 2, 3)
+        again = agree_on_private_layer({0: 1, 1: 2, 2: 3})
+        assert result.decided_value == again.decided_value
+
+    def test_single_voter(self):
+        result = agree_on_private_layer({0: 7})
+        assert result.decided_value == 7
+
+    def test_all_nodes_converge(self):
+        result = agree_on_private_layer({i: 4 for i in range(7)})
+        assert set(result.per_node_decisions.values()) == {4}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BroadcastVoting({})
+
+
+class TestByzantineVoting:
+    def test_random_voters_cannot_flip_majority(self):
+        proposals = {i: 5 for i in range(7)}
+        proposals[5] = 0
+        proposals[6] = 1
+        result = agree_on_private_layer(
+            proposals, byzantine={5: "random", 6: "random"},
+            num_layers=8, seed=3)
+        assert result.decided_value == 5
+        assert result.honest_agreement
+
+    def test_equivocating_voter_tolerated(self):
+        proposals = {i: 3 for i in range(5)}
+        proposals[4] = 0
+        result = agree_on_private_layer(
+            proposals, byzantine={4: "equivocate"}, num_layers=8, seed=1)
+        assert result.decided_value == 3
+
+    def test_silent_voter_tolerated(self):
+        proposals = {0: 2, 1: 2, 2: 2, 3: 0}
+        result = agree_on_private_layer(
+            proposals, byzantine={3: "silent"}, num_layers=4)
+        assert result.decided_value == 2
+
+    def test_mixed_behaviours(self):
+        proposals = {i: 6 for i in range(9)}
+        for i, behaviour in [(6, "random"), (7, "equivocate"),
+                             (8, "silent")]:
+            proposals[i] = 0
+        result = agree_on_private_layer(
+            proposals,
+            byzantine={6: "random", 7: "equivocate", 8: "silent"},
+            num_layers=8, seed=0)
+        assert result.decided_value == 6
+        assert result.honest_agreement
+
+    def test_rejects_unknown_behaviour(self):
+        with pytest.raises(ValueError):
+            VotingNode(0, 1, byzantine="teleport")
+
+    def test_rejects_byzantine_nonvoter(self):
+        with pytest.raises(ValueError):
+            BroadcastVoting({0: 1}, byzantine={9: "random"})
+
+
+class TestProtocolMechanics:
+    def test_rounds_bounded(self):
+        result = agree_on_private_layer({i: i % 3 for i in range(9)})
+        assert 1 <= result.rounds_used <= 3
+
+    def test_deterministic_given_seed(self):
+        proposals = {i: 5 for i in range(6)}
+        proposals[5] = 1
+        a = agree_on_private_layer(proposals, byzantine={5: "random"},
+                                   num_layers=8, seed=11)
+        b = agree_on_private_layer(proposals, byzantine={5: "random"},
+                                   num_layers=8, seed=11)
+        assert a.decided_value == b.decided_value

@@ -1,0 +1,72 @@
+"""Mini-batch iterator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import iterate_batches
+
+
+def test_covers_all_samples(rng):
+    x = np.arange(25).reshape(25, 1).astype(float)
+    y = np.arange(25)
+    seen = []
+    for bx, by in iterate_batches(x, y, 4, rng):
+        assert len(bx) == len(by)
+        seen.extend(by.tolist())
+    assert sorted(seen) == list(range(25))
+
+
+def test_batch_sizes(rng):
+    x = np.zeros((10, 2))
+    y = np.zeros(10, dtype=int)
+    sizes = [len(bx) for bx, _ in iterate_batches(x, y, 4, rng)]
+    assert sizes == [4, 4, 2]
+
+
+def test_drop_last(rng):
+    x = np.zeros((10, 2))
+    y = np.zeros(10, dtype=int)
+    sizes = [len(bx) for bx, _ in iterate_batches(x, y, 4, rng,
+                                                  drop_last=True)]
+    assert sizes == [4, 4]
+
+
+def test_features_follow_labels(rng):
+    x = np.arange(20).reshape(20, 1).astype(float)
+    y = np.arange(20)
+    for bx, by in iterate_batches(x, y, 6, rng):
+        assert np.array_equal(bx[:, 0].astype(int), by)
+
+
+def test_no_shuffle_is_sequential():
+    x = np.arange(8).reshape(8, 1).astype(float)
+    y = np.arange(8)
+    batches = list(iterate_batches(x, y, 3, shuffle=False))
+    assert batches[0][1].tolist() == [0, 1, 2]
+
+
+def test_shuffle_requires_rng():
+    with pytest.raises(ValueError):
+        next(iterate_batches(np.zeros((4, 1)), np.zeros(4, dtype=int), 2))
+
+
+def test_rejects_mismatched_lengths(rng):
+    with pytest.raises(ValueError):
+        next(iterate_batches(np.zeros((4, 1)), np.zeros(3, dtype=int), 2,
+                             rng))
+
+
+def test_rejects_bad_batch_size(rng):
+    with pytest.raises(ValueError):
+        next(iterate_batches(np.zeros((4, 1)), np.zeros(4, dtype=int), 0,
+                             rng))
+
+
+def test_deterministic_given_seed():
+    x = np.arange(30).reshape(30, 1).astype(float)
+    y = np.arange(30)
+    a = [by.tolist() for _, by in iterate_batches(
+        x, y, 7, np.random.default_rng(4))]
+    b = [by.tolist() for _, by in iterate_batches(
+        x, y, 7, np.random.default_rng(4))]
+    assert a == b

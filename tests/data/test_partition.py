@@ -1,0 +1,115 @@
+"""Membership split and FL partitioning tests (§5.1, §5.3, §5.8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    partition_dirichlet,
+    partition_iid,
+    split_for_membership,
+)
+from repro.data.synthetic import synthetic_tabular
+
+
+class TestMembershipSplit:
+    def test_pools_are_disjoint_and_complete(self, tiny_dataset, rng):
+        split = split_for_membership(tiny_dataset, rng)
+        total = (len(split.members) + len(split.nonmembers)
+                 + len(split.attacker))
+        assert total == len(tiny_dataset)
+
+    def test_paper_fractions(self, rng):
+        ds = synthetic_tabular(rng, 1000, 10, 4)
+        split = split_for_membership(ds, rng)
+        assert len(split.attacker) == 500   # half for the attacker
+        assert len(split.members) == 400    # 80% of the rest
+        assert len(split.nonmembers) == 100  # 20% of the rest
+
+    def test_custom_fractions(self, rng):
+        ds = synthetic_tabular(rng, 100, 10, 4)
+        split = split_for_membership(ds, rng, attacker_fraction=0.2,
+                                     train_fraction=0.5)
+        assert len(split.attacker) == 20
+        assert len(split.members) == 40
+
+    def test_rejects_bad_fractions(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            split_for_membership(tiny_dataset, rng, attacker_fraction=1.0)
+        with pytest.raises(ValueError):
+            split_for_membership(tiny_dataset, rng, train_fraction=0.0)
+
+    def test_deterministic_given_rng(self, tiny_dataset):
+        a = split_for_membership(tiny_dataset, np.random.default_rng(1))
+        b = split_for_membership(tiny_dataset, np.random.default_rng(1))
+        assert np.array_equal(a.members.x, b.members.x)
+
+
+class TestIIDPartition:
+    def test_covers_all_samples_disjointly(self, rng):
+        shards = partition_iid(100, 7, rng)
+        joined = np.concatenate(shards)
+        assert len(joined) == 100
+        assert len(np.unique(joined)) == 100
+
+    def test_near_equal_sizes(self, rng):
+        sizes = [len(s) for s in partition_iid(100, 7, rng)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_clients_than_samples(self, rng):
+        with pytest.raises(ValueError):
+            partition_iid(3, 5, rng)
+
+    def test_rejects_zero_clients(self, rng):
+        with pytest.raises(ValueError):
+            partition_iid(10, 0, rng)
+
+
+class TestDirichletPartition:
+    def _labels(self, rng, n=600, k=6):
+        return rng.integers(0, k, n)
+
+    def test_covers_all_samples(self, rng):
+        labels = self._labels(rng)
+        shards = partition_dirichlet(labels, 5, 1.0, rng)
+        joined = np.concatenate(shards)
+        assert len(joined) == len(labels)
+        assert len(np.unique(joined)) == len(labels)
+
+    def test_low_alpha_is_more_skewed(self):
+        """Lower alpha concentrates classes on fewer clients (§5.8)."""
+        labels = np.random.default_rng(0).integers(0, 6, 3000)
+
+        def skew(alpha, seed):
+            shards = partition_dirichlet(
+                labels, 5, alpha, np.random.default_rng(seed))
+            stds = []
+            for cls in range(6):
+                counts = [np.sum(labels[s] == cls) for s in shards]
+                stds.append(np.std(counts))
+            return np.mean(stds)
+
+        low = np.mean([skew(0.2, s) for s in range(3)])
+        high = np.mean([skew(50.0, s) for s in range(3)])
+        assert low > high
+
+    def test_infinite_alpha_degenerates_to_iid(self, rng):
+        labels = self._labels(rng)
+        shards = partition_dirichlet(labels, 4, math.inf, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_min_samples_respected(self, rng):
+        labels = self._labels(rng)
+        shards = partition_dirichlet(labels, 5, 0.3, rng, min_samples=10)
+        assert min(len(s) for s in shards) >= 10
+
+    def test_rejects_nonpositive_alpha(self, rng):
+        with pytest.raises(ValueError):
+            partition_dirichlet(self._labels(rng), 3, 0.0, rng)
+
+    def test_impossible_min_samples_raises(self, rng):
+        labels = rng.integers(0, 2, 10)
+        with pytest.raises(RuntimeError):
+            partition_dirichlet(labels, 5, 0.5, rng, min_samples=10)

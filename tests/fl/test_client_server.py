@@ -1,0 +1,128 @@
+"""Client and server behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_tabular
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.server import FLServer
+from repro.nn.model import weights_allclose
+from repro.privacy.defenses.base import Defense
+
+
+def _client(rng, tiny_model_factory, defense=None, config=None,
+            n_samples=60):
+    data = synthetic_tabular(rng, n_samples, 20, 4, noise=0.2)
+    config = config or FLConfig(num_clients=2, rounds=1, local_epochs=2,
+                                lr=0.1, batch_size=16)
+    return FLClient(0, tiny_model_factory(np.random.default_rng(1)), data,
+                    config, defense or Defense(),
+                    np.random.default_rng(2))
+
+
+class TestFLClient:
+    def test_training_changes_weights(self, rng, tiny_model_factory):
+        client = _client(rng, tiny_model_factory)
+        start = client.model.get_weights()
+        update = client.train_round(start, 0)
+        assert not weights_allclose(start, update.weights)
+
+    def test_update_metadata(self, rng, tiny_model_factory):
+        client = _client(rng, tiny_model_factory)
+        update = client.train_round(client.model.get_weights(), 0)
+        assert update.client_id == 0
+        assert update.num_samples == 60
+        assert update.train_seconds > 0
+
+    def test_personalized_model_available_after_round(self, rng,
+                                                      tiny_model_factory):
+        client = _client(rng, tiny_model_factory)
+        with pytest.raises(RuntimeError):
+            client.personalized_model()
+        client.train_round(client.model.get_weights(), 0)
+        model = client.personalized_model()
+        assert weights_allclose(model.get_weights(),
+                                client.personal_weights)
+
+    def test_evaluate_returns_accuracy(self, rng, tiny_model_factory,
+                                       tiny_dataset):
+        client = _client(rng, tiny_model_factory)
+        client.train_round(client.model.get_weights(), 0)
+        score = client.evaluate(tiny_dataset.x, tiny_dataset.y)
+        assert 0.0 <= score <= 1.0
+
+    def test_rejects_empty_data(self, rng, tiny_model_factory):
+        empty = synthetic_tabular(rng, 10, 20, 4).subset(np.array([],
+                                                                  dtype=int))
+        with pytest.raises(ValueError):
+            FLClient(0, tiny_model_factory(rng), empty, FLConfig(),
+                     Defense(), rng)
+
+    def test_defense_hooks_invoked(self, rng, tiny_model_factory):
+        calls = []
+
+        class Spy(Defense):
+            def on_receive_global(self, client_id, weights):
+                calls.append("receive")
+                return weights
+
+            def on_send_update(self, client_id, weights, num_samples,
+                               rng_):
+                calls.append("send")
+                return weights
+
+        client = _client(rng, tiny_model_factory, defense=Spy())
+        client.train_round(client.model.get_weights(), 0)
+        assert calls == ["receive", "send"]
+
+    def test_training_learns(self, rng, tiny_model_factory):
+        config = FLConfig(num_clients=1, rounds=1, local_epochs=20,
+                          lr=0.1, batch_size=16)
+        client = _client(rng, tiny_model_factory, config=config,
+                         n_samples=80)
+        client.train_round(client.model.get_weights(), 0)
+        assert client.evaluate(client.data.x, client.data.y) > 0.8
+
+
+class TestFLServer:
+    def _make(self, rng, tiny_model_factory, defense=None, **cfg):
+        config = FLConfig(num_clients=4, rounds=1, **cfg)
+        model = tiny_model_factory(rng)
+        return FLServer(model.get_weights(), config, defense or Defense(),
+                        rng)
+
+    def test_selects_all_by_default(self, rng, tiny_model_factory):
+        server = self._make(rng, tiny_model_factory)
+        assert server.select_clients(0) == [0, 1, 2, 3]
+
+    def test_partial_selection(self, rng, tiny_model_factory):
+        server = self._make(rng, tiny_model_factory, clients_per_round=2)
+        chosen = server.select_clients(0)
+        assert len(chosen) == 2
+        assert all(0 <= c < 4 for c in chosen)
+
+    def test_aggregate_updates_global(self, rng, tiny_model_factory):
+        from repro.fl.client import ClientUpdate
+        server = self._make(rng, tiny_model_factory)
+        template = server.global_weights
+        ones = [{k: np.ones_like(v) for k, v in layer.items()}
+                for layer in template]
+        update = ClientUpdate(0, ones, 10, 0.0)
+        out = server.aggregate([update])
+        assert np.allclose(out[0]["W"], 1.0)
+        assert server.global_weights is out
+
+    def test_aggregate_rejects_empty(self, rng, tiny_model_factory):
+        server = self._make(rng, tiny_model_factory)
+        with pytest.raises(ValueError):
+            server.aggregate([])
+
+    def test_cost_meter_records_aggregation(self, rng, tiny_model_factory):
+        from repro.fl.client import ClientUpdate
+        server = self._make(rng, tiny_model_factory)
+        ones = [{k: np.ones_like(v) for k, v in layer.items()}
+                for layer in server.global_weights]
+        server.aggregate([ClientUpdate(0, ones, 1, 0.0)])
+        assert server.cost_meter.report.server_rounds == 1
+        assert server.cost_meter.report.server_aggregate_seconds > 0

@@ -1,0 +1,37 @@
+"""FLConfig validation tests."""
+
+import pytest
+
+from repro.fl.config import FLConfig
+
+
+def test_defaults_valid():
+    config = FLConfig()
+    assert config.num_clients == 5
+    assert config.clients_per_round is None
+
+
+@pytest.mark.parametrize("field,value", [
+    ("num_clients", 0),
+    ("rounds", 0),
+    ("local_epochs", 0),
+    ("lr", 0.0),
+    ("lr", -1.0),
+    ("batch_size", 0),
+])
+def test_rejects_invalid(field, value):
+    with pytest.raises(ValueError):
+        FLConfig(**{field: value})
+
+
+def test_clients_per_round_bounds():
+    FLConfig(num_clients=5, clients_per_round=3)  # valid
+    with pytest.raises(ValueError):
+        FLConfig(num_clients=5, clients_per_round=6)
+    with pytest.raises(ValueError):
+        FLConfig(num_clients=5, clients_per_round=0)
+
+
+def test_extra_dict_is_free_form():
+    config = FLConfig(extra={"note": "anything"})
+    assert config.extra["note"] == "anything"

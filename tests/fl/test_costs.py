@@ -1,0 +1,56 @@
+"""Cost meter tests (Table 3 accounting)."""
+
+import time
+
+from repro.fl.costs import CostMeter, CostReport
+
+
+def test_client_training_timer():
+    meter = CostMeter()
+    with meter.client_training():
+        time.sleep(0.01)
+    assert meter.report.client_train_seconds >= 0.01
+    assert meter.report.client_train_rounds == 1
+
+
+def test_defense_timer_separate_from_training():
+    meter = CostMeter()
+    with meter.client_training():
+        pass
+    with meter.client_defense():
+        time.sleep(0.005)
+    assert meter.report.client_defense_seconds >= 0.005
+    # defense time counts toward the per-round training duration
+    assert meter.report.train_seconds_per_round \
+        >= meter.report.client_defense_seconds
+
+
+def test_server_aggregation_timer():
+    meter = CostMeter()
+    with meter.server_aggregation():
+        time.sleep(0.005)
+    assert meter.report.aggregate_seconds_per_round >= 0.005
+    assert meter.report.server_rounds == 1
+
+
+def test_timer_survives_exceptions():
+    meter = CostMeter()
+    try:
+        with meter.client_training():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert meter.report.client_train_rounds == 1
+
+
+def test_defense_state_records_peak():
+    meter = CostMeter()
+    meter.record_defense_state(100)
+    meter.record_defense_state(50)
+    assert meter.report.defense_state_bytes == 100
+
+
+def test_empty_report_rates_are_zero():
+    report = CostReport()
+    assert report.train_seconds_per_round == 0.0
+    assert report.aggregate_seconds_per_round == 0.0

@@ -1,0 +1,40 @@
+"""Weight initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import he_normal, initialize, lecun_normal, xavier_uniform
+
+
+def test_xavier_bounds(rng):
+    fan_in, fan_out = 100, 50
+    w = xavier_uniform(rng, (100, 50), fan_in, fan_out)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    assert np.all(np.abs(w) <= limit)
+
+
+def test_he_variance(rng):
+    w = he_normal(rng, (200, 200), fan_in=200)
+    assert np.isclose(w.std(), np.sqrt(2.0 / 200), rtol=0.05)
+
+
+def test_lecun_variance(rng):
+    w = lecun_normal(rng, (200, 200), fan_in=200)
+    assert np.isclose(w.std(), np.sqrt(1.0 / 200), rtol=0.05)
+
+
+def test_initialize_dispatch(rng):
+    for scheme in ("xavier", "he", "lecun"):
+        w = initialize(rng, (10, 10), 10, 10, scheme)
+        assert w.shape == (10, 10)
+
+
+def test_initialize_rejects_unknown(rng):
+    with pytest.raises(ValueError):
+        initialize(rng, (2, 2), 2, 2, "glorot")
+
+
+def test_seeded_determinism():
+    a = xavier_uniform(np.random.default_rng(7), (5, 5), 5, 5)
+    b = xavier_uniform(np.random.default_rng(7), (5, 5), 5, 5)
+    assert np.array_equal(a, b)

@@ -1,0 +1,91 @@
+"""Loss function contracts: values, gradients, per-example views."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    MSELoss,
+    SoftmaxCrossEntropy,
+    log_softmax,
+    softmax,
+)
+
+
+class TestSoftmaxHelpers:
+    def test_log_softmax_matches_naive(self, rng):
+        logits = rng.standard_normal((4, 6))
+        naive = np.log(np.exp(logits)
+                       / np.exp(logits).sum(axis=1, keepdims=True))
+        assert np.allclose(log_softmax(logits), naive)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = log_softmax(np.array([[1e4, 0.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_softmax_normalized(self, rng):
+        assert np.allclose(
+            softmax(rng.standard_normal((3, 7))).sum(axis=1), 1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((5, 10)), np.zeros(5, dtype=int))
+        assert np.isclose(value, np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.full((3, 4), -100.0)
+        logits[np.arange(3), [0, 1, 2]] = 100.0
+        assert loss.forward(logits, np.array([0, 1, 2])) < 1e-6
+
+    def test_backward_is_probs_minus_onehot(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((4, 5))
+        y = np.array([0, 1, 2, 3])
+        loss.forward(logits, y)
+        grad = loss.backward()
+        probs = softmax(logits)
+        expected = probs.copy()
+        expected[np.arange(4), y] -= 1.0
+        assert np.allclose(grad, expected / 4)
+
+    def test_per_example_mean_matches_forward(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((6, 3))
+        y = rng.integers(0, 3, 6)
+        batch = loss.forward(logits, y)
+        per = loss.per_example(logits, y)
+        assert per.shape == (6,)
+        assert np.isclose(per.mean(), batch)
+
+    def test_per_example_nonnegative(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((20, 5)) * 5
+        y = rng.integers(0, 5, 20)
+        assert np.all(loss.per_example(logits, y) >= 0)
+
+
+class TestMSELoss:
+    def test_zero_for_exact_match(self, rng):
+        loss = MSELoss()
+        x = rng.standard_normal((4, 3))
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([[1.0, 1.0]]), np.array([[0.0, 0.0]]))
+        assert np.isclose(value, 1.0)
+
+    def test_gradient_direction(self):
+        loss = MSELoss()
+        loss.forward(np.array([[2.0]]), np.array([[0.0]]))
+        grad = loss.backward()
+        assert grad[0, 0] > 0  # pushing the prediction down
+
+    def test_per_example_shape(self, rng):
+        loss = MSELoss()
+        per = loss.per_example(rng.standard_normal((5, 4)),
+                               rng.standard_normal((5, 4)))
+        assert per.shape == (5,)
+        assert np.all(per >= 0)

@@ -1,0 +1,58 @@
+"""Attack AUC metric tests (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.attacks.metrics import attack_auc, roc_auc
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([3.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_perfectly_inverted(self):
+        assert roc_auc(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 0.0
+
+    def test_random_overlap_near_half(self, rng):
+        pos = rng.standard_normal(2000)
+        neg = rng.standard_normal(2000)
+        assert abs(roc_auc(pos, neg) - 0.5) < 0.03
+
+    def test_ties_count_half(self):
+        assert roc_auc(np.array([1.0]), np.array([1.0])) == 0.5
+
+    def test_matches_pairwise_definition(self, rng):
+        pos = rng.standard_normal(30)
+        neg = rng.standard_normal(40)
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        assert np.isclose(roc_auc(pos, neg), wins / (30 * 40))
+
+    def test_known_shift(self, rng):
+        pos = rng.standard_normal(3000) + 1.0
+        neg = rng.standard_normal(3000)
+        # AUC of unit shift between unit gaussians = Phi(1/sqrt(2))
+        from scipy.stats import norm
+        assert abs(roc_auc(pos, neg) - norm.cdf(1 / np.sqrt(2))) < 0.02
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([]), np.array([1.0]))
+
+
+class TestAttackAuc:
+    def test_clamped_to_half(self, rng):
+        """An anti-predictive attacker is as good as its inverse."""
+        pos = np.array([1.0, 2.0])
+        neg = np.array([3.0, 4.0])
+        assert attack_auc(pos, neg) == 1.0
+
+    def test_never_below_half(self, rng):
+        for _ in range(5):
+            pos = rng.standard_normal(50)
+            neg = rng.standard_normal(50)
+            assert attack_auc(pos, neg) >= 0.5
+
+    def test_preserves_strong_signal(self, rng):
+        pos = rng.standard_normal(500) + 3
+        neg = rng.standard_normal(500)
+        assert attack_auc(pos, neg) > 0.95

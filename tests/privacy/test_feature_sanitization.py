@@ -1,0 +1,63 @@
+"""Non-finite-logit handling in attack features.
+
+A destroyed model (e.g. under heavy CDP noise) can emit inf/NaN
+logits; the attacker must see it as *uninformative*, never as an
+accidental perfect separator through NaN ordering.
+"""
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.model import Model
+from repro.privacy.attacks.features import (
+    LOGIT_CAP,
+    _sanitize_logits,
+    attack_features,
+    per_example_loss,
+)
+from repro.privacy.attacks.metrics import attack_auc
+from repro.privacy.attacks.threshold import LossThresholdAttack
+
+
+def test_sanitize_maps_nonfinite():
+    logits = np.array([[np.inf, -np.inf, np.nan, 3.0]])
+    out = _sanitize_logits(logits)
+    assert np.all(np.isfinite(out))
+    assert out[0, 0] == LOGIT_CAP
+    assert out[0, 1] == -LOGIT_CAP
+    assert out[0, 2] == 0.0
+    assert out[0, 3] == 3.0
+
+
+def test_sanitize_caps_huge_values():
+    out = _sanitize_logits(np.array([[1e30, -1e30]]))
+    assert np.abs(out).max() == LOGIT_CAP
+
+
+def _exploded_model(rng):
+    model = Model([Dense(5, 4, rng)])
+    model.trainable[0].params["W"][...] = 1e300  # overflows in matmul
+    return model
+
+
+def test_exploded_model_gives_finite_features(rng):
+    model = _exploded_model(rng)
+    x = rng.standard_normal((10, 5))
+    y = rng.integers(0, 4, 10)
+    with np.errstate(over="ignore", invalid="ignore"):
+        feats = attack_features(model, x, y)
+        losses = per_example_loss(model, x, y)
+    assert np.all(np.isfinite(feats))
+    assert np.all(np.isfinite(losses))
+
+
+def test_exploded_model_reads_near_chance(rng):
+    """Saturated outputs collapse to ties: AUC near the 0.5 floor."""
+    model = _exploded_model(rng)
+    attack = LossThresholdAttack()
+    x = rng.standard_normal((40, 5))
+    y = rng.integers(0, 4, 40)
+    with np.errstate(over="ignore", invalid="ignore"):
+        auc = attack_auc(attack.score(model, x[:20], y[:20]),
+                         attack.score(model, x[20:], y[20:]))
+    assert auc < 0.7  # far from the pathological 1.0

@@ -1,0 +1,99 @@
+"""Tests for the confidence- and entropy-threshold attack variants."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import iterate_batches
+from repro.data.synthetic import synthetic_tabular
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import SGD
+from repro.privacy.attacks.metrics import attack_auc
+from repro.privacy.attacks.threshold import (
+    ConfidenceThresholdAttack,
+    EntropyThresholdAttack,
+    LossThresholdAttack,
+)
+
+
+@pytest.fixture(scope="module")
+def overfit():
+    rng = np.random.default_rng(0)
+    data = synthetic_tabular(rng, 240, 20, 4, noise=0.35)
+    members = data.subset(np.arange(100))
+    nonmembers = data.subset(np.arange(100, 200))
+    from repro.nn.activations import Tanh
+    from repro.nn.layers import Dense
+    from repro.nn.model import Model
+    model = Model([Dense(20, 16, np.random.default_rng(1)), Tanh(),
+                   Dense(16, 4, np.random.default_rng(2))])
+    loss = SoftmaxCrossEntropy()
+    optimizer = SGD(model, 0.2)
+    for _ in range(150):  # drive to full memorization of the members
+        for bx, by in iterate_batches(members.x, members.y, 32, rng):
+            model.loss_and_grad(bx, by, loss)
+            optimizer.step()
+    return model, members, nonmembers
+
+
+ATTACKS = [LossThresholdAttack, ConfidenceThresholdAttack,
+           EntropyThresholdAttack]
+
+
+@pytest.mark.parametrize("attack_cls,floor", [
+    (LossThresholdAttack, 0.6),
+    # confidence-only attacks are the weakest of the family: they are
+    # fooled by confidently-wrong predictions
+    (ConfidenceThresholdAttack, 0.55),
+    (EntropyThresholdAttack, 0.6),
+])
+def test_detects_membership(attack_cls, floor, overfit):
+    model, members, nonmembers = overfit
+    attack = attack_cls()
+    auc = attack_auc(
+        attack.score(model, members.x, members.y),
+        attack.score(model, nonmembers.x, nonmembers.y))
+    assert auc > floor
+
+
+@pytest.mark.parametrize("attack_cls", ATTACKS)
+def test_scores_finite(attack_cls, overfit):
+    model, members, _ = overfit
+    scores = attack_cls().score(model, members.x, members.y)
+    assert np.all(np.isfinite(scores))
+    assert scores.shape == (len(members),)
+
+
+def test_modified_entropy_favors_confident_correct(overfit):
+    """A confidently-correct sample has near-zero modified entropy,
+    i.e. the highest membership score."""
+    model, members, _ = overfit
+    attack = EntropyThresholdAttack()
+    scores = attack.score(model, members.x, members.y)
+    losses = LossThresholdAttack().score(model, members.x, members.y)
+    # the most confidently-correct member (lowest loss) should rank in
+    # the top half of entropy scores
+    best = np.argmax(losses)
+    assert scores[best] >= np.median(scores)
+
+
+def test_entropy_attack_beats_plain_confidence_on_wrong_labels(overfit):
+    """Modified entropy uses the true label; confidence does not.  For
+    a sample the model confidently MISclassifies, modified entropy
+    correctly scores it as a non-member while raw confidence is
+    fooled."""
+    model, members, nonmembers = overfit
+    conf = ConfidenceThresholdAttack()
+    entropy = EntropyThresholdAttack()
+    logits = model.predict_logits(nonmembers.x)
+    wrong = logits.argmax(axis=1) != nonmembers.y
+    if not wrong.any():
+        pytest.skip("model classified every non-member correctly")
+    x = nonmembers.x[wrong]
+    y = nonmembers.y[wrong]
+    high_conf = conf.score(model, x, y) > 0.9
+    if not high_conf.any():
+        pytest.skip("no confidently-wrong non-member found")
+    entropy_scores = entropy.score(model, x[high_conf], y[high_conf])
+    member_scores = entropy.score(model, members.x, members.y)
+    # confidently-wrong non-members score below the typical member
+    assert entropy_scores.mean() < np.median(member_scores)
