@@ -30,9 +30,31 @@ from repro.core.sensitivity import LayerSensitivity, layer_divergences
 from repro.data.loader import iterate_batches
 from repro.data.synthetic import Dataset
 from repro.nn.losses import SoftmaxCrossEntropy
-from repro.nn.model import Model, Weights
+from repro.nn.model import Model
 from repro.nn.optim import Optimizer, make_optimizer
+from repro.nn.store import LayoutEntry, WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
+
+
+class _StoredLayer(dict):
+    """A protected layer snapshot: flat backing copy + shaped views.
+
+    Reads like the legacy ``{key: array}`` dict (checkpoints and tests
+    access stored layers that way) while keeping one contiguous
+    ``flat`` vector so personalization restores the layer with a single
+    slice assignment.
+    """
+
+    __slots__ = ("flat",)
+
+    def __init__(self, flat: np.ndarray,
+                 entries: Sequence[LayoutEntry]) -> None:
+        super().__init__()
+        self.flat = flat
+        base = entries[0].offset
+        for e in entries:
+            lo = e.offset - base
+            self[e.key] = flat[lo:lo + e.size].reshape(e.shape)
 
 
 class DINAR(Defense):
@@ -119,17 +141,19 @@ class DINAR(Defense):
     # Algorithm 1, lines 1-6: model personalization
     # ------------------------------------------------------------------
     def on_receive_global(self, client_id: int,
-                          weights: Weights) -> Weights:
+                          weights: WeightsLike) -> WeightsLike:
         stored = self._stored.get(client_id)
         if stored is None or not self.personalize:
             return weights  # first round / ablated: nothing to restore
-        personalized = [
-            {k: v.copy() for k, v in layer.items()} for layer in weights
-        ]
+        personalized = as_store(weights, copy=True)
         for layer_idx, saved in stored.items():
-            personalized[layer_idx] = {
-                k: v.copy() for k, v in saved.items()
-            }
+            if isinstance(saved, _StoredLayer):
+                # the whole layer is one contiguous coordinate range
+                personalized.layer_flat(layer_idx)[:] = saved.flat
+            else:
+                # plain dict, e.g. a layer restored from a checkpoint
+                for key, value in saved.items():
+                    personalized.view(layer_idx, key)[:] = value
         return personalized
 
     # ------------------------------------------------------------------
@@ -143,20 +167,25 @@ class DINAR(Defense):
     # ------------------------------------------------------------------
     # Algorithm 1, lines 15-17: model obfuscation
     # ------------------------------------------------------------------
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
-        protected = self.protected_indices(len(weights))
-        out = [{k: v.copy() for k, v in layer.items()} for layer in weights]
+                       rng: np.random.Generator) -> WeightStore:
+        update = as_store(weights)
+        out = update.copy()
+        protected = self.protected_indices(len(out))
         stored: dict[int, dict[str, np.ndarray]] = {}
         for layer_idx in protected:
-            stored[layer_idx] = {
-                k: v.copy() for k, v in weights[layer_idx].items()
-            }
-            out[layer_idx] = {
-                k: rng.standard_normal(v.shape) * self._noise_std(v)
-                for k, v in weights[layer_idx].items()
-            }
+            entries = out.layout.layer_entries(layer_idx)
+            stored[layer_idx] = _StoredLayer(
+                update.layer_flat(layer_idx).copy(), entries)
+            for e in entries:
+                view = out.view(layer_idx, e.key)
+                # the noise std derives from the replaced array itself,
+                # so the draw stays per-array (in layout order — the
+                # same generator stream as the legacy loop)
+                noise = rng.standard_normal(e.shape)
+                noise *= self._noise_std(view)
+                view[:] = noise
         self._stored[client_id] = stored
         return out
 

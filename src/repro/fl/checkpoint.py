@@ -15,7 +15,7 @@ import pathlib
 import numpy as np
 
 from repro.fl.simulation import FederatedSimulation
-from repro.nn.serialize import load_weights, save_weights
+from repro.nn.serialize import load_store, save_weights
 
 
 def save_checkpoint(simulation: FederatedSimulation,
@@ -59,12 +59,12 @@ def load_checkpoint(simulation: FederatedSimulation,
     """
     directory = pathlib.Path(directory)
     meta = json.loads((directory / "meta.json").read_text())
-    simulation.server.global_weights = load_weights(
+    simulation.server.global_weights = load_store(
         directory / "global.npz")
     for entry in meta["clients"]:
         if entry["has_personal"]:
             client = simulation.clients[entry["client_id"]]
-            client.personal_weights = load_weights(
+            client.personal_weights = load_store(
                 directory / f"client{entry['client_id']}.npz")
     for client_id in meta.get("dinar_clients", []):
         path = directory / f"dinar{client_id}.npz"

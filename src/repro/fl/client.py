@@ -25,8 +25,9 @@ from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
-from repro.nn.model import Model, Weights
+from repro.nn.model import Model
 from repro.nn.optim import make_optimizer
+from repro.nn.store import WeightsLike, WeightStore
 from repro.privacy.defenses.base import Defense
 
 
@@ -35,8 +36,9 @@ class ClientUpdate:
     """What a client transmits to the server after local training."""
 
     client_id: int
-    weights: Weights
+    weights: WeightsLike
     num_samples: int
+    #: Wall time this client spent training in *this* round.
     train_seconds: float
 
 
@@ -58,7 +60,7 @@ class FLClient:
         self.rng = rng
         self.loss = loss or SoftmaxCrossEntropy()
         self.cost_meter = cost_meter or CostMeter()
-        self.personal_weights: Weights | None = None
+        self.personal_weights: WeightStore | None = None
         model.attach_rng(rng)
 
     @property
@@ -66,23 +68,29 @@ class FLClient:
         """Local dataset size (FedAvg weighting factor)."""
         return len(self.data)
 
-    def train_round(self, global_weights: Weights,
+    def train_round(self, global_weights: WeightsLike,
                     round_index: int) -> ClientUpdate:
         """Run one FL round: personalize, train locally, protect, upload."""
         received = self.defense.on_receive_global(
             self.client_id, global_weights)
         self.model.set_weights(received)
 
+        # The cost meter is shared across clients and rounds, so this
+        # round's own wall time is the meter's delta around training —
+        # not the cumulative total.
+        trained_before = self.cost_meter.report.client_train_seconds
         with self.cost_meter.client_training():
             self._train_local()
+        train_seconds = self.cost_meter.report.client_train_seconds \
+            - trained_before
 
         # Personalized model = post-training weights with the private
         # layer intact; this is what the client uses for predictions.
-        self.personal_weights = self.model.get_weights()
+        self.personal_weights = self.model.get_store()
 
         with self.cost_meter.client_defense():
             sent = self.defense.on_send_update(
-                self.client_id, self.model.get_weights(),
+                self.client_id, self.model.get_store(),
                 self.num_samples, self.rng)
         self.cost_meter.record_defense_state(self.defense.state_bytes())
 
@@ -90,7 +98,7 @@ class FLClient:
             client_id=self.client_id,
             weights=sent,
             num_samples=self.num_samples,
-            train_seconds=self.cost_meter.report.client_train_seconds,
+            train_seconds=train_seconds,
         )
 
     def _train_local(self) -> None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.model import Weights
+from repro.nn.store import WeightsLike, WeightStore
 
 
 @dataclass(frozen=True)
@@ -52,20 +52,35 @@ class NetworkModel:
     downlink: LinkSpec = field(default_factory=LinkSpec)
 
 
-def dense_nbytes(weights: Weights) -> int:
-    """Bytes of a dense float64 encoding of a weight structure."""
+def dense_nbytes(weights: WeightsLike) -> int:
+    """Bytes of a dense float64 encoding of a weight structure.
+
+    A :class:`~repro.nn.store.WeightStore` answers straight from its
+    layout (O(1)); a nested structure is walked.
+    """
+    if isinstance(weights, WeightStore):
+        return weights.layout.nbytes
     return sum(v.nbytes for layer in weights for v in layer.values())
 
 
-def sparse_nbytes(weights: Weights, reference: Weights | None = None, *,
+def sparse_nbytes(weights: WeightsLike,
+                  reference: WeightsLike | None = None, *,
                   index_bytes: int = 4) -> int:
     """Bytes of a sparse (index, value) delta encoding.
 
     Counts the coordinates that differ from ``reference`` (or are
     non-zero when no reference is given); each costs a value plus an
     index.  This is the wire format gradient compression buys its
-    bandwidth savings with.
+    bandwidth savings with.  Store inputs are compared over their flat
+    buffers in one vectorized pass; nested structures are walked.
     """
+    if isinstance(weights, WeightStore):
+        if reference is None:
+            nonzero = int(np.count_nonzero(weights.buffer))
+        else:
+            ref = WeightStore.as_store(reference, layout=weights.layout)
+            nonzero = int(np.count_nonzero(weights.buffer != ref.buffer))
+        return nonzero * (8 + index_bytes)
     nonzero = 0
     for layer_idx, layer in enumerate(weights):
         for key, value in layer.items():

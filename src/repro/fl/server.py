@@ -1,4 +1,11 @@
-"""FL server: client selection and defended aggregation."""
+"""FL server: client selection and defended aggregation.
+
+Store-native: the global model lives as a
+:class:`~repro.nn.store.WeightStore`, each round's cohort updates land
+as rows of one pooled :class:`~repro.fl.aggregation.UpdateBatch`
+matrix (allocated once, reused every round), and aggregation is a
+vectorized column reduction over that matrix.
+"""
 
 from __future__ import annotations
 
@@ -6,26 +13,32 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.fl.aggregation import fedavg, scale_weights, sum_updates
+from repro.fl.aggregation import (
+    UpdateBatch,
+    fedavg,
+    scale_weights,
+    sum_updates,
+)
 from repro.fl.client import ClientUpdate
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
-from repro.nn.model import Weights, weights_zip_map, zeros_like_weights
+from repro.nn.store import Layout, WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 
 
 class FLServer:
     """Holds the global model, selects cohorts, aggregates updates."""
 
-    def __init__(self, initial_weights: Weights, config: FLConfig,
+    def __init__(self, initial_weights: WeightsLike, config: FLConfig,
                  defense: Defense, rng: np.random.Generator,
                  cost_meter: CostMeter | None = None) -> None:
-        self.global_weights = initial_weights
+        self.global_weights: WeightStore = as_store(initial_weights)
         self.config = config
         self.defense = defense
         self.rng = rng
         self.cost_meter = cost_meter or CostMeter()
-        self._momentum_buffer: Weights | None = None
+        self._momentum_buffer: WeightStore | None = None
+        self._batch: UpdateBatch | None = None
 
     def select_clients(self, round_index: int) -> list[int]:
         """Choose the participating cohort for one round."""
@@ -36,7 +49,19 @@ class FLServer:
         chosen = self.rng.choice(n, size=k, replace=False)
         return sorted(int(c) for c in chosen)
 
-    def aggregate(self, updates: Sequence[ClientUpdate]) -> Weights:
+    def _collect(self, updates: Sequence[ClientUpdate]) -> UpdateBatch:
+        """Copy the cohort's updates into the pooled row matrix."""
+        first = updates[0].weights
+        layout = first.layout if isinstance(first, WeightStore) \
+            else Layout.from_layers(first)
+        if self._batch is None or self._batch.layout != layout:
+            self._batch = UpdateBatch(layout, capacity=len(updates))
+        self._batch.reset()
+        for update in updates:
+            self._batch.add(update.weights)
+        return self._batch
+
+    def aggregate(self, updates: Sequence[ClientUpdate]) -> WeightStore:
         """FedAvg the cohort's updates and apply the server-side defense.
 
         With a ``pre_weighted`` defense (secure aggregation) clients
@@ -48,30 +73,29 @@ class FLServer:
         if not updates:
             raise ValueError("no updates to aggregate")
         with self.cost_meter.server_aggregation():
+            batch = self._collect(updates)
             if self.defense.pre_weighted:
                 total = float(sum(u.num_samples for u in updates))
-                aggregated = scale_weights(
-                    sum_updates([u.weights for u in updates]), 1.0 / total)
+                aggregated = scale_weights(sum_updates(batch), 1.0 / total)
             else:
                 aggregated = fedavg(
-                    [u.weights for u in updates],
-                    [u.num_samples for u in updates])
+                    batch, [u.num_samples for u in updates])
             aggregated = self._apply_server_momentum(aggregated)
-            aggregated = self.defense.on_aggregate(aggregated, self.rng)
+            aggregated = as_store(
+                self.defense.on_aggregate(aggregated, self.rng))
         self.global_weights = aggregated
         return aggregated
 
-    def _apply_server_momentum(self, aggregated: Weights) -> Weights:
+    def _apply_server_momentum(self,
+                               aggregated: WeightStore) -> WeightStore:
         """FedAvgM (Hsu et al., 2020): accumulate the round delta in a
         server-side momentum buffer (extension; no-op at momentum 0)."""
         beta = self.config.server_momentum
         if beta <= 0.0:
             return aggregated
-        delta = weights_zip_map(np.subtract, aggregated,
-                                self.global_weights)
+        delta = aggregated - self.global_weights
         if self._momentum_buffer is None:
-            self._momentum_buffer = zeros_like_weights(delta)
-        self._momentum_buffer = weights_zip_map(
-            lambda m, d: beta * m + d, self._momentum_buffer, delta)
-        return weights_zip_map(np.add, self.global_weights,
-                               self._momentum_buffer)
+            self._momentum_buffer = delta.zeros_like()
+        self._momentum_buffer *= beta
+        self._momentum_buffer += delta
+        return self.global_weights + self._momentum_buffer

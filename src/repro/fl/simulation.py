@@ -26,7 +26,8 @@ from repro.fl.costs import CostMeter
 from repro.fl.network import NetworkModel, TrafficMeter, dense_nbytes
 from repro.fl.server import FLServer
 from repro.nn.metrics import accuracy
-from repro.nn.model import Model, Weights
+from repro.nn.model import Model
+from repro.nn.store import WeightsLike
 from repro.privacy.defenses.base import Defense
 
 
@@ -102,7 +103,7 @@ class FederatedSimulation:
             )
             for i in range(config.num_clients)
         ]
-        template = self.clients[0].model.get_weights()
+        template = self.clients[0].model.get_store()
         self.server = FLServer(
             initial_weights=template,
             config=config,
@@ -110,7 +111,7 @@ class FederatedSimulation:
             rng=np.random.default_rng((config.seed, 2)),
             cost_meter=self.cost_meter,
         )
-        self.last_updates: dict[int, Weights] = {}
+        self.last_updates: dict[int, WeightsLike] = {}
         self.history = History()
 
     # ------------------------------------------------------------------
@@ -154,7 +155,7 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
     # evaluation views
     # ------------------------------------------------------------------
-    def model_from_weights(self, weights: Weights) -> Model:
+    def model_from_weights(self, weights: WeightsLike) -> Model:
         """Fresh model instance loaded with the given weights."""
         model = self.model_factory(np.random.default_rng(self.config.seed))
         model.set_weights(weights)

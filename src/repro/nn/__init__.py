@@ -47,7 +47,15 @@ from repro.nn.schedule import (
     StepDecay,
     WarmupSchedule,
 )
-from repro.nn.serialize import load_weights, save_weights
+from repro.nn.serialize import load_store, load_weights, save_weights
+from repro.nn.store import (
+    Layout,
+    LayoutEntry,
+    WeightsLike,
+    WeightStore,
+    as_layers,
+    as_store,
+)
 
 __all__ = [
     "ADGD",
@@ -66,6 +74,8 @@ __all__ = [
     "GELU",
     "LRSchedule",
     "Layer",
+    "Layout",
+    "LayoutEntry",
     "LeakyReLU",
     "Loss",
     "MSELoss",
@@ -83,7 +93,12 @@ __all__ = [
     "StepDecay",
     "Tanh",
     "WarmupSchedule",
+    "WeightStore",
     "Weights",
+    "WeightsLike",
+    "as_layers",
+    "as_store",
+    "load_store",
     "load_weights",
     "make_optimizer",
     "save_weights",

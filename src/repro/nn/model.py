@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, softmax
+from repro.nn.store import Layout, WeightsLike, WeightStore
 
 #: One dict of named arrays per parameter-carrying layer, front to back.
 Weights = list[dict[str, np.ndarray]]
@@ -120,8 +121,12 @@ class Model:
         """Deep copy of all exchanged arrays, one dict per trainable layer."""
         return [layer.state() for layer in self.trainable]
 
-    def set_weights(self, weights: Weights) -> None:
-        """Load weights produced by :meth:`get_weights` (shape-checked)."""
+    def set_weights(self, weights: WeightsLike) -> None:
+        """Load weights produced by :meth:`get_weights` or
+        :meth:`get_store` (shape-checked)."""
+        if isinstance(weights, WeightStore):
+            self.set_store(weights)
+            return
         trainable = self.trainable
         if len(weights) != len(trainable):
             raise ValueError(
@@ -129,6 +134,46 @@ class Model:
                 f"model has {len(trainable)} trainable layers")
         for layer, state in zip(trainable, weights):
             layer.set_state(state)
+
+    # ------------------------------------------------------------------
+    # store-native weight exchange
+    # ------------------------------------------------------------------
+    def weight_layout(self) -> Layout:
+        """The model's flat-buffer layout (cached; structure is fixed)."""
+        layout = getattr(self, "_weight_layout", None)
+        if layout is None:
+            layout = Layout.from_model(self)
+            self._weight_layout = layout
+        return layout
+
+    def get_store(self) -> WeightStore:
+        """All exchanged arrays as one fresh contiguous flat buffer."""
+        layout = self.weight_layout()
+        store = WeightStore(layout, np.empty(layout.num_params))
+        buf = store.buffer
+        entries = iter(layout.entries)
+        for layer in self.trainable:
+            for value in list(layer.params.values()) \
+                    + list(layer.buffers.values()):
+                entry = next(entries)
+                buf[entry.offset:entry.stop] = value.reshape(-1)
+        return store
+
+    def set_store(self, store: WeightStore) -> None:
+        """Load a store produced by :meth:`get_store` (shape-checked)."""
+        layout = self.weight_layout()
+        if store.layout is not layout and store.layout != layout:
+            raise ValueError(
+                f"{self.name}: store layout {store.layout} does not "
+                f"match model layout {layout}")
+        buf = store.buffer
+        entries = iter(layout.entries)
+        for layer in self.trainable:
+            for value in list(layer.params.values()) \
+                    + list(layer.buffers.values()):
+                entry = next(entries)
+                value[...] = buf[entry.offset:entry.stop] \
+                    .reshape(entry.shape)
 
     def clone(self) -> "Model":
         """Structural deep copy (weights included)."""
@@ -170,21 +215,28 @@ def weights_like(weights: Weights, rng: np.random.Generator, *,
         lambda v: rng.standard_normal(v.shape) * scale, weights)
 
 
-def flatten_weights(weights: Weights) -> np.ndarray:
-    """Concatenate every array into one vector (key-sorted per layer)."""
+def flatten_weights(weights: WeightsLike) -> np.ndarray:
+    """Every array as one vector, in layout (state-dict) order.
+
+    For a :class:`~repro.nn.store.WeightStore` this is a zero-copy
+    read-only view of the store's buffer — the vector *is* the store.
+    """
+    if isinstance(weights, WeightStore):
+        return weights.readonly_vector()
     parts = [
-        layer[k].ravel() for layer in weights for k in sorted(layer)
+        layer[k].ravel() for layer in weights for k in layer
     ]
     return np.concatenate(parts) if parts else np.zeros(0)
 
 
-def unflatten_weights(vector: np.ndarray, template: Weights) -> Weights:
+def unflatten_weights(vector: np.ndarray,
+                      template: WeightsLike) -> Weights:
     """Inverse of :func:`flatten_weights` given a shape template."""
     out: Weights = []
     offset = 0
     for layer in template:
         rebuilt: dict[str, np.ndarray] = {}
-        for k in sorted(layer):
+        for k in layer:
             size = layer[k].size
             rebuilt[k] = vector[offset:offset + size] \
                 .reshape(layer[k].shape).copy()
@@ -196,15 +248,20 @@ def unflatten_weights(vector: np.ndarray, template: Weights) -> Weights:
     return out
 
 
-def weights_l2_norm(weights: Weights) -> float:
+def weights_l2_norm(weights: WeightsLike) -> float:
     """Global L2 norm across every exchanged array."""
+    if isinstance(weights, WeightStore):
+        return weights.l2()
     total = sum(float((v ** 2).sum()) for layer in weights
                 for v in layer.values())
     return float(np.sqrt(total))
 
 
-def weights_allclose(a: Weights, b: Weights, *, atol: float = 1e-9) -> bool:
+def weights_allclose(a: WeightsLike, b: WeightsLike, *,
+                     atol: float = 1e-9) -> bool:
     """Whether two weight structures are numerically identical."""
+    if isinstance(a, WeightStore) and isinstance(b, WeightStore):
+        return a.allclose(b, atol=atol)
     if len(a) != len(b):
         return False
     for la, lb in zip(a, b):

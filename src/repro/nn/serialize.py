@@ -14,15 +14,27 @@ import pathlib
 import numpy as np
 
 from repro.nn.model import Weights
+from repro.nn.store import WeightsLike, WeightStore
 
 
-def save_weights(weights: Weights, path: str | pathlib.Path) -> None:
-    """Write a weight structure to an ``.npz`` archive."""
-    arrays = {
-        f"layer{idx}/{key}": value
-        for idx, layer in enumerate(weights)
-        for key, value in layer.items()
-    }
+def save_weights(weights: WeightsLike, path: str | pathlib.Path) -> None:
+    """Write a weight structure to an ``.npz`` archive.
+
+    A :class:`~repro.nn.store.WeightStore` is written straight from its
+    layout's zero-copy views — no intermediate nested structure.
+    """
+    if isinstance(weights, WeightStore):
+        arrays = {
+            f"layer{e.layer_idx}/{e.key}":
+                weights.buffer[e.offset:e.stop].reshape(e.shape)
+            for e in weights.layout.entries
+        }
+    else:
+        arrays = {
+            f"layer{idx}/{key}": value
+            for idx, layer in enumerate(weights)
+            for key, value in layer.items()
+        }
     if not arrays:
         raise ValueError("cannot save an empty weight structure")
     np.savez(path, **arrays)
@@ -40,6 +52,11 @@ def load_weights(path: str | pathlib.Path) -> Weights:
         raise ValueError(f"archive has non-contiguous layer indices: "
                          f"{sorted(layers)}")
     return [layers[idx] for idx in range(len(layers))]
+
+
+def load_store(path: str | pathlib.Path) -> WeightStore:
+    """Read an archive written by :func:`save_weights` into a store."""
+    return WeightStore.from_layers(load_weights(path))
 
 
 def experiment_result_to_dict(result) -> dict:

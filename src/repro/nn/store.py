@@ -1,0 +1,398 @@
+"""Flat-buffer weight plane: ``Layout`` + ``WeightStore``.
+
+Every subsystem exchanges model state.  The legacy representation —
+``Weights = list[dict[str, np.ndarray]]`` — forces each consumer
+(FedAvg, the defenses, DINAR, traffic accounting, serialization) to
+re-walk a nested structure in Python loops.  This module provides the
+store-native alternative: one contiguous float64 vector per model plus
+an immutable :class:`Layout` mapping each ``(layer, key)`` pair to a
+coordinate range.
+
+Design rules:
+
+* **Layout order is state-dict order** — per layer, keys appear in the
+  order the source dict yields them (a model's ``params`` before its
+  ``buffers``).  This is the canonical flatten order: the store's
+  buffer *is* ``flatten_weights`` of the same structure, and RNG-driven
+  transforms (obfuscation noise, DP noise, SA masks) consume the
+  generator stream in exactly the same order as the legacy per-array
+  code, keeping them bit-for-bit reproducible.
+* **Zero-copy views** — ``view``/``layer_flat``/``layer_dict`` return
+  ndarray views into the buffer; mutating a view mutates the store.
+* **Legacy bridge** — :meth:`WeightStore.from_layers` /
+  :meth:`WeightStore.to_layers` convert to and from the nested
+  structure, and the store implements the read side of the sequence
+  protocol (``len``, ``[idx]``, iteration over per-layer dicts), so it
+  can flow through code written against ``Weights``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The legacy nested structure (same alias as :data:`repro.nn.model.Weights`,
+#: redeclared here so the store does not import the model module).
+Weights = list[dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One named array's coordinate range inside the flat buffer."""
+
+    layer_idx: int
+    key: str
+    shape: tuple[int, ...]
+    offset: int
+    size: int
+
+    @property
+    def stop(self) -> int:
+        """One past the last buffer index of this array."""
+        return self.offset + self.size
+
+
+class Layout:
+    """Immutable map from ``(layer, key)`` to a flat coordinate range.
+
+    Entries are ordered front to back: layer indices are contiguous
+    starting at 0, offsets are contiguous starting at 0, and every
+    layer's entries occupy one contiguous range (so per-layer slices —
+    DINAR's "layer p" — are single buffer slices).
+    """
+
+    __slots__ = ("entries", "num_params", "num_layers",
+                 "_by_key", "_layer_slices", "_hash")
+
+    def __init__(self, entries: Sequence[LayoutEntry]) -> None:
+        entries = tuple(entries)
+        if not entries:
+            raise ValueError("a layout needs at least one entry")
+        offset = 0
+        layer_idx = 0
+        starts: list[int] = [0]
+        for entry in entries:
+            if entry.offset != offset:
+                raise ValueError(
+                    f"entry {entry.layer_idx}/{entry.key} at offset "
+                    f"{entry.offset}, expected {offset}")
+            if entry.size != int(np.prod(entry.shape, dtype=np.int64)):
+                raise ValueError(
+                    f"entry {entry.layer_idx}/{entry.key}: size "
+                    f"{entry.size} != prod{entry.shape}")
+            if entry.layer_idx == layer_idx + 1:
+                layer_idx += 1
+                starts.append(entry.offset)
+            elif entry.layer_idx != layer_idx:
+                raise ValueError(
+                    f"layer indices must be contiguous and ascending; "
+                    f"got {entry.layer_idx} after {layer_idx}")
+            offset += entry.size
+        starts.append(offset)
+        self.entries = entries
+        self.num_params = offset
+        self.num_layers = layer_idx + 1
+        self._by_key = {(e.layer_idx, e.key): e for e in entries}
+        if len(self._by_key) != len(entries):
+            raise ValueError("duplicate (layer, key) pair in layout")
+        self._layer_slices = tuple(
+            slice(starts[i], starts[i + 1])
+            for i in range(self.num_layers))
+        self._hash = hash(self.entries)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_layers(cls, weights: Weights) -> "Layout":
+        """Derive a layout from a legacy nested structure."""
+        entries: list[LayoutEntry] = []
+        offset = 0
+        for layer_idx, layer in enumerate(weights):
+            for key, value in layer.items():
+                value = np.asarray(value)
+                entries.append(LayoutEntry(
+                    layer_idx=layer_idx, key=key,
+                    shape=tuple(value.shape), offset=offset,
+                    size=int(value.size)))
+                offset += int(value.size)
+        return cls(entries)
+
+    @classmethod
+    def from_model(cls, model) -> "Layout":
+        """Derive a layout from a model's trainable layers (no copies).
+
+        Keys follow ``Layer.state()`` order: ``params`` before
+        ``buffers``, each in insertion order.
+        """
+        entries: list[LayoutEntry] = []
+        offset = 0
+        for layer_idx, layer in enumerate(model.trainable):
+            for key, value in list(layer.params.items()) \
+                    + list(layer.buffers.items()):
+                entries.append(LayoutEntry(
+                    layer_idx=layer_idx, key=key,
+                    shape=tuple(value.shape), offset=offset,
+                    size=int(value.size)))
+                offset += int(value.size)
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def entry(self, layer_idx: int, key: str) -> LayoutEntry:
+        """The entry for one named array (raises ``KeyError``)."""
+        return self._by_key[(layer_idx, key)]
+
+    def layer_slice(self, layer_idx: int) -> slice:
+        """The contiguous buffer range covering one whole layer."""
+        return self._layer_slices[layer_idx]
+
+    def layer_entries(self, layer_idx: int) -> tuple[LayoutEntry, ...]:
+        """All entries of one layer, in layout order."""
+        return tuple(e for e in self.entries if e.layer_idx == layer_idx)
+
+    def layer_keys(self, layer_idx: int) -> tuple[str, ...]:
+        """Key names of one layer, in layout order."""
+        return tuple(e.key for e in self.entries
+                     if e.layer_idx == layer_idx)
+
+    @property
+    def nbytes(self) -> int:
+        """Dense float64 wire size of a store with this layout."""
+        return self.num_params * 8
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (f"Layout(layers={self.num_layers}, "
+                f"arrays={len(self.entries)}, params={self.num_params})")
+
+
+class WeightStore:
+    """One model's weights as a contiguous float64 vector + layout.
+
+    Supports zero-copy per-layer/per-key views, vectorized arithmetic
+    (``+``, ``-``, scalar ``*``, in-place variants), and the read side
+    of the legacy sequence protocol: ``store[p]`` is a ``{key: view}``
+    dict for layer ``p``, so code written against ``Weights`` can
+    consume a store unchanged.
+    """
+
+    __slots__ = ("layout", "buffer")
+
+    def __init__(self, layout: Layout,
+                 buffer: np.ndarray | None = None) -> None:
+        if buffer is None:
+            buffer = np.zeros(layout.num_params)
+        buffer = np.asarray(buffer)
+        if buffer.ndim != 1 or buffer.size != layout.num_params:
+            raise ValueError(
+                f"buffer shape {buffer.shape} does not match layout "
+                f"with {layout.num_params} params")
+        if buffer.dtype != np.float64:
+            buffer = buffer.astype(np.float64)
+        self.layout = layout
+        self.buffer = buffer
+
+    # ------------------------------------------------------------------
+    # bridges to/from the legacy nested structure
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_layers(cls, weights: Weights,
+                    layout: Layout | None = None) -> "WeightStore":
+        """Copy a legacy nested structure into a fresh store."""
+        if layout is None:
+            layout = Layout.from_layers(weights)
+        store = cls(layout, np.empty(layout.num_params))
+        buf = store.buffer
+        for entry in layout.entries:
+            value = np.asarray(weights[entry.layer_idx][entry.key])
+            if tuple(value.shape) != entry.shape:
+                raise ValueError(
+                    f"layer {entry.layer_idx}/{entry.key}: shape "
+                    f"{value.shape} != layout {entry.shape}")
+            buf[entry.offset:entry.stop] = value.reshape(-1)
+        return store
+
+    @classmethod
+    def as_store(cls, weights: "WeightsLike", *,
+                 layout: Layout | None = None,
+                 copy: bool = False) -> "WeightStore":
+        """Normalize ``Weights | WeightStore`` to a store.
+
+        A store input passes through zero-copy (copied only when
+        ``copy=True``); a nested input is copied into a fresh store.
+        """
+        if isinstance(weights, WeightStore):
+            if layout is not None and weights.layout != layout:
+                raise ValueError("store layout does not match the "
+                                 "requested layout")
+            return weights.copy() if copy else weights
+        return cls.from_layers(weights, layout)
+
+    def to_layers(self) -> Weights:
+        """Copy out to the legacy nested structure."""
+        out: Weights = [dict() for _ in range(self.layout.num_layers)]
+        for entry in self.layout.entries:
+            out[entry.layer_idx][entry.key] = \
+                self.buffer[entry.offset:entry.stop] \
+                    .reshape(entry.shape).copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # zero-copy views
+    # ------------------------------------------------------------------
+    def view(self, layer_idx: int, key: str) -> np.ndarray:
+        """Writable zero-copy view of one named array."""
+        entry = self.layout.entry(layer_idx, key)
+        return self.buffer[entry.offset:entry.stop].reshape(entry.shape)
+
+    def layer_flat(self, layer_idx: int) -> np.ndarray:
+        """Writable flat view of one whole layer's coordinate range."""
+        return self.buffer[self.layout.layer_slice(layer_idx)]
+
+    def layer_dict(self, layer_idx: int, *,
+                   copy: bool = False) -> dict[str, np.ndarray]:
+        """One layer as a ``{key: array}`` dict (views by default)."""
+        out = {}
+        for entry in self.layout.layer_entries(layer_idx):
+            value = self.buffer[entry.offset:entry.stop] \
+                .reshape(entry.shape)
+            out[entry.key] = value.copy() if copy else value
+        return out
+
+    def readonly_vector(self) -> np.ndarray:
+        """The whole buffer as a read-only zero-copy view."""
+        v = self.buffer.view()
+        v.flags.writeable = False
+        return v
+
+    # ------------------------------------------------------------------
+    # legacy sequence protocol (read side)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.layout.num_layers
+
+    def __getitem__(self, layer_idx: int) -> dict[str, np.ndarray]:
+        if not isinstance(layer_idx, (int, np.integer)):
+            raise TypeError(
+                f"layer index must be an int, got {type(layer_idx)}")
+        n = self.layout.num_layers
+        if layer_idx < 0:
+            layer_idx += n
+        if not 0 <= layer_idx < n:
+            raise IndexError(f"layer {layer_idx} out of range ({n})")
+        return self.layer_dict(layer_idx)
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        for layer_idx in range(self.layout.num_layers):
+            yield self.layer_dict(layer_idx)
+
+    # ------------------------------------------------------------------
+    # vectorized arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "WeightStore") -> None:
+        if self.layout is not other.layout \
+                and self.layout != other.layout:
+            raise ValueError("stores have incompatible layouts")
+
+    def __add__(self, other: "WeightStore") -> "WeightStore":
+        self._check_compatible(other)
+        return WeightStore(self.layout, self.buffer + other.buffer)
+
+    def __sub__(self, other: "WeightStore") -> "WeightStore":
+        self._check_compatible(other)
+        return WeightStore(self.layout, self.buffer - other.buffer)
+
+    def __mul__(self, factor: float) -> "WeightStore":
+        return WeightStore(self.layout, self.buffer * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: float) -> "WeightStore":
+        return WeightStore(self.layout, self.buffer / float(divisor))
+
+    def __neg__(self) -> "WeightStore":
+        return WeightStore(self.layout, -self.buffer)
+
+    def __iadd__(self, other: "WeightStore") -> "WeightStore":
+        self._check_compatible(other)
+        self.buffer += other.buffer
+        return self
+
+    def __isub__(self, other: "WeightStore") -> "WeightStore":
+        self._check_compatible(other)
+        self.buffer -= other.buffer
+        return self
+
+    def __imul__(self, factor: float) -> "WeightStore":
+        self.buffer *= float(factor)
+        return self
+
+    # ------------------------------------------------------------------
+    # reductions / comparisons
+    # ------------------------------------------------------------------
+    def l2(self) -> float:
+        """Global L2 norm over the whole buffer."""
+        return float(np.sqrt((self.buffer ** 2).sum()))
+
+    def allclose(self, other: "WeightsLike", *,
+                 atol: float = 1e-9) -> bool:
+        """Numerical equality against a store or nested structure."""
+        other = WeightStore.as_store(other)
+        if self.layout != other.layout:
+            return False
+        return bool(np.allclose(self.buffer, other.buffer, atol=atol))
+
+    # ------------------------------------------------------------------
+    # allocation helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "WeightStore":
+        """Independent store with the same layout and values."""
+        return WeightStore(self.layout, self.buffer.copy())
+
+    def zeros_like(self) -> "WeightStore":
+        """Zero-filled store with the same layout."""
+        return WeightStore(self.layout, np.zeros(self.layout.num_params))
+
+    @property
+    def num_params(self) -> int:
+        return self.layout.num_params
+
+    @property
+    def nbytes(self) -> int:
+        """Dense float64 wire size (= ``buffer.nbytes``)."""
+        return self.buffer.nbytes
+
+    def __repr__(self) -> str:
+        return (f"WeightStore(layers={self.layout.num_layers}, "
+                f"params={self.num_params})")
+
+
+#: Either representation of exchanged model state.
+WeightsLike = Weights | WeightStore
+
+
+def as_store(weights: WeightsLike, *, layout: Layout | None = None,
+             copy: bool = False) -> WeightStore:
+    """Module-level alias for :meth:`WeightStore.as_store`."""
+    return WeightStore.as_store(weights, layout=layout, copy=copy)
+
+
+def as_layers(weights: WeightsLike) -> Weights:
+    """Normalize ``Weights | WeightStore`` to the nested structure."""
+    if isinstance(weights, WeightStore):
+        return weights.to_layers()
+    return weights

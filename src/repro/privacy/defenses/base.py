@@ -24,7 +24,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.nn.model import Model, Weights
+from repro.nn.model import Model
+from repro.nn.store import WeightsLike
 from repro.nn.optim import Optimizer
 
 
@@ -39,23 +40,23 @@ class Defense:
     pre_weighted = False
 
     def on_round_start(self, round_index: int, client_ids: Sequence[int],
-                       template: Weights,
+                       template: WeightsLike,
                        rng: np.random.Generator) -> None:
         """Per-round setup before any client trains."""
 
     def on_receive_global(self, client_id: int,
-                          weights: Weights) -> Weights:
+                          weights: WeightsLike) -> WeightsLike:
         """Transform the downloaded global model for one client."""
         return weights
 
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
+                       rng: np.random.Generator) -> WeightsLike:
         """Transform the update a client is about to upload."""
         return weights
 
-    def on_aggregate(self, weights: Weights,
-                     rng: np.random.Generator) -> Weights:
+    def on_aggregate(self, weights: WeightsLike,
+                     rng: np.random.Generator) -> WeightsLike:
         """Transform the aggregated model on the server."""
         return weights
 
@@ -63,7 +64,7 @@ class Defense:
         """Optionally impose a local-training optimizer."""
         return None
 
-    def upload_nbytes(self, weights: Weights) -> int:
+    def upload_nbytes(self, weights: WeightsLike) -> int:
         """Wire size of one transmitted update.
 
         Defaults to a dense float64 encoding; defenses with a cheaper

@@ -5,6 +5,10 @@ each client's influence by clipping round deltas to S, averages, and
 adds Gaussian noise ``N(0, (z * S / m)^2)`` to the aggregated delta
 before sharing the model back (m = cohort size, z = noise multiplier
 derived from the (epsilon, delta) budget across rounds).
+
+Store-native: deltas, clipping and the Gaussian mechanism are flat
+vector operations; the noise is one flat draw that consumes the
+generator stream in layout order, matching the legacy per-array loop.
 """
 
 from __future__ import annotations
@@ -13,10 +17,10 @@ import math
 
 import numpy as np
 
-from repro.nn.model import Weights, weights_map, weights_zip_map
+from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.accounting import PrivacyAccountant
 from repro.privacy.defenses.base import Defense
-from repro.privacy.defenses.ldp import clip_weights
+from repro.privacy.defenses.ldp import clip_store
 
 
 class CentralDP(Defense):
@@ -41,20 +45,16 @@ class CentralDP(Defense):
                 2.0 * math.log(1.25 / delta)) / per_round_eps
         self.noise_multiplier = noise_multiplier
         self.accountant = PrivacyAccountant(epsilon, delta)
-        self._round_global: Weights | None = None
-        self._clipped_deltas: list[Weights] = []
+        self._round_global: WeightStore | None = None
         self._noise_buffer_bytes = 0
 
     def on_round_start(self, round_index, client_ids, template,
                        rng) -> None:
-        self._round_global = [
-            {k: v.copy() for k, v in layer.items()} for layer in template
-        ]
-        self._clipped_deltas = []
+        self._round_global = as_store(template, copy=True)
 
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
+                       rng: np.random.Generator) -> WeightStore:
         """Bound this client's influence (server-enforced clipping).
 
         In the CDP threat model the server is trusted, so the clipping
@@ -63,23 +63,22 @@ class CentralDP(Defense):
         """
         if self._round_global is None:
             raise RuntimeError("on_round_start was never called")
-        delta = weights_zip_map(np.subtract, weights, self._round_global)
-        bounded = clip_weights(delta, self.clip_norm)
-        return weights_zip_map(np.add, self._round_global, bounded)
+        update = as_store(weights, layout=self._round_global.layout)
+        bounded = clip_store(update - self._round_global, self.clip_norm)
+        return self._round_global + bounded
 
-    def on_aggregate(self, weights: Weights,
-                     rng: np.random.Generator) -> Weights:
+    def on_aggregate(self, weights: WeightsLike,
+                     rng: np.random.Generator) -> WeightStore:
         if self._round_global is None:
             raise RuntimeError("on_round_start was never called")
-        delta = weights_zip_map(np.subtract, weights, self._round_global)
+        aggregated = as_store(weights, layout=self._round_global.layout)
+        noisy = aggregated - self._round_global
         sigma = self.noise_multiplier * self.clip_norm / self.num_clients
-        noisy = weights_map(
-            lambda v: v + rng.normal(0.0, sigma, size=v.shape), delta)
+        noisy.buffer += rng.normal(0.0, sigma, size=noisy.num_params)
         self.accountant.spend(
             self.epsilon / math.sqrt(self.rounds), self.delta)
-        self._noise_buffer_bytes = sum(
-            v.nbytes for layer in noisy for v in layer.values())
-        return weights_zip_map(np.add, self._round_global, noisy)
+        self._noise_buffer_bytes = noisy.nbytes
+        return self._round_global + noisy
 
     def state_bytes(self) -> int:
         return self._noise_buffer_bytes

@@ -7,18 +7,17 @@ error feedback: coordinates dropped this round accumulate in a residual
 that is added back next round.  The residual store is exactly why the
 paper measures a large GC memory overhead ("storing the difference
 between original and compressed gradients").
+
+Store-native: the round delta *is* a flat vector on the weight plane,
+so sparsification works directly on the store buffer — no flatten /
+unflatten round-trips — and residuals are plain flat vectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.model import (
-    Weights,
-    flatten_weights,
-    unflatten_weights,
-    weights_zip_map,
-)
+from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 
 
@@ -32,34 +31,33 @@ class GradientCompression(Defense):
             raise ValueError(
                 f"keep_ratio must be in (0, 1], got {keep_ratio}")
         self.keep_ratio = keep_ratio
-        self._round_global: Weights | None = None
+        self._round_global: WeightStore | None = None
         self._residuals: dict[int, np.ndarray] = {}
 
     def on_round_start(self, round_index, client_ids, template, rng) -> None:
-        self._round_global = [
-            {k: v.copy() for k, v in layer.items()} for layer in template
-        ]
+        self._round_global = as_store(template, copy=True)
 
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
+                       rng: np.random.Generator) -> WeightStore:
         if self._round_global is None:
             raise RuntimeError("on_round_start was never called")
-        delta = weights_zip_map(np.subtract, weights, self._round_global)
-        flat = flatten_weights(delta)
+        update = as_store(weights, layout=self._round_global.layout)
+        delta = update - self._round_global
+        flat = delta.buffer
         residual = self._residuals.get(client_id)
         if residual is not None:
-            flat = flat + residual
+            flat += residual
         k = max(1, int(self.keep_ratio * flat.size))
         threshold_idx = np.argpartition(np.abs(flat), flat.size - k)
         sparse = np.zeros_like(flat)
         keep_idx = threshold_idx[flat.size - k:]
         sparse[keep_idx] = flat[keep_idx]
         self._residuals[client_id] = flat - sparse
-        compressed_delta = unflatten_weights(sparse, delta)
-        return weights_zip_map(np.add, self._round_global, compressed_delta)
+        return WeightStore(self._round_global.layout,
+                           self._round_global.buffer + sparse)
 
-    def upload_nbytes(self, weights: Weights) -> int:
+    def upload_nbytes(self, weights: WeightsLike) -> int:
         """GC transmits the sparse delta, not the dense model."""
         from repro.fl.network import sparse_nbytes
         if self._round_global is None:

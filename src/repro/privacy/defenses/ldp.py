@@ -15,13 +15,30 @@ import numpy as np
 
 from repro.nn.model import Model, Weights, weights_l2_norm, weights_map
 from repro.nn.optim import Optimizer
+from repro.nn.store import WeightsLike, WeightStore
 from repro.privacy.defenses.accounting import PrivacyAccountant
 from repro.privacy.defenses.base import Defense
 from repro.privacy.defenses.dpsgd import DPSGD, dp_sgd_noise_multiplier
 
 
-def clip_weights(weights: Weights, max_norm: float) -> Weights:
-    """Scale the whole structure so its global L2 norm is <= max_norm."""
+def clip_store(store: WeightStore, max_norm: float) -> WeightStore:
+    """Scale a store so its global L2 norm is <= max_norm (new store)."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = store.l2()
+    if norm <= max_norm:
+        return store.copy()
+    return store * (max_norm / norm)
+
+
+def clip_weights(weights: WeightsLike, max_norm: float) -> WeightsLike:
+    """Scale the whole structure so its global L2 norm is <= max_norm.
+
+    Returns the same representation it was given: a store comes back
+    as a store (one vectorized pass), nested weights come back nested.
+    """
+    if isinstance(weights, WeightStore):
+        return clip_store(weights, max_norm)
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     norm = weights_l2_norm(weights)

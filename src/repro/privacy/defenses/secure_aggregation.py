@@ -11,6 +11,11 @@ update is statistically useless to a server-side attacker.
 The paper's Fig. 6 shape follows mechanically: local-model attack AUC
 drops to ~50% (the attacker sees masked noise) while the global model
 is exactly as attackable as the no-defense baseline.
+
+Store-native: each mask is one flat vector over the weight plane,
+drawn in a single PRG call that consumes the pair stream in layout
+order — the same values the legacy per-array loop drew — and applied
+as one vectorized add.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.nn.model import Weights, weights_map, weights_zip_map
+from repro.nn.store import Layout, WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 
 
@@ -34,10 +39,11 @@ class SecureAggregation(Defense):
             raise ValueError(f"mask_scale must be positive, "
                              f"got {mask_scale}")
         self.mask_scale = mask_scale
-        self._masks: dict[int, Weights] = {}
+        self._layout: Layout | None = None
+        self._masks: dict[int, np.ndarray] = {}
 
     def on_round_start(self, round_index: int, client_ids: Sequence[int],
-                       template: Weights,
+                       template: WeightsLike,
                        rng: np.random.Generator) -> None:
         """Negotiate pairwise masks for this round's cohort.
 
@@ -45,37 +51,36 @@ class SecureAggregation(Defense):
         the real protocol; both endpoints derive the same mask and apply
         it with opposite signs, so the cohort-wide sum is exactly zero.
         """
+        self._layout = as_store(template).layout
+        num_params = self._layout.num_params
         self._masks = {
-            cid: weights_map(np.zeros_like, template)
-            for cid in client_ids
+            cid: np.zeros(num_params) for cid in client_ids
         }
         ids = sorted(client_ids)
         for pos, i in enumerate(ids):
             for j in ids[pos + 1:]:
                 pair_rng = np.random.default_rng(
                     (int(round_index), int(i), int(j)))
-                pair_mask = weights_map(
-                    lambda v: pair_rng.standard_normal(v.shape)
-                    * self.mask_scale, template)
-                self._masks[i] = weights_zip_map(
-                    np.add, self._masks[i], pair_mask)
-                self._masks[j] = weights_zip_map(
-                    np.subtract, self._masks[j], pair_mask)
+                pair_mask = pair_rng.standard_normal(num_params)
+                pair_mask *= self.mask_scale
+                self._masks[i] += pair_mask
+                self._masks[j] -= pair_mask
 
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
+                       rng: np.random.Generator) -> WeightStore:
         """Transmit ``num_samples * weights + mask`` (pre-weighted)."""
         if client_id not in self._masks:
             raise RuntimeError(
                 f"client {client_id} has no mask for this round; "
                 "on_round_start must run first")
-        scaled = weights_map(lambda v: v * float(num_samples), weights)
-        return weights_zip_map(np.add, scaled, self._masks[client_id])
+        masked = as_store(weights, layout=self._layout) \
+            * float(num_samples)
+        masked.buffer += self._masks[client_id]
+        return masked
 
     def state_bytes(self) -> int:
-        return sum(v.nbytes for masks in self._masks.values()
-                   for layer in masks for v in layer.values())
+        return sum(mask.nbytes for mask in self._masks.values())
 
     def describe(self) -> str:
         return f"sa(mask_scale={self.mask_scale})"

@@ -7,15 +7,20 @@ sigma = 0.025.  Operating on deltas — not raw weights — is what makes
 the mechanism "weak": the bound rarely bites and the noise is small,
 so utility survives but the membership signal is only mildly damped
 (the paper's Fig. 6 shows WDP failing to reach 50%).
+
+Store-native: the delta, the norm bound and the noise are single
+vectorized operations on the flat weight plane; the noise is drawn in
+one flat pass that consumes the generator stream in layout order —
+the same values the legacy per-array loop drew.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.model import Weights, weights_map, weights_zip_map
+from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
-from repro.privacy.defenses.ldp import clip_weights
+from repro.privacy.defenses.ldp import clip_store
 
 
 class WeakDP(Defense):
@@ -32,28 +37,25 @@ class WeakDP(Defense):
                              f"got {norm_bound}")
         self.norm_bound = norm_bound
         self.sigma = sigma
-        self._round_global: Weights | None = None
+        self._round_global: WeightStore | None = None
         self._noise_buffer_bytes = 0
 
     def on_round_start(self, round_index, client_ids, template,
                        rng) -> None:
-        self._round_global = [
-            {k: v.copy() for k, v in layer.items()} for layer in template
-        ]
+        self._round_global = as_store(template, copy=True)
 
-    def on_send_update(self, client_id: int, weights: Weights,
+    def on_send_update(self, client_id: int, weights: WeightsLike,
                        num_samples: int,
-                       rng: np.random.Generator) -> Weights:
+                       rng: np.random.Generator) -> WeightStore:
         if self._round_global is None:
             raise RuntimeError("on_round_start was never called")
-        delta = weights_zip_map(np.subtract, weights, self._round_global)
-        bounded = clip_weights(delta, self.norm_bound)
-        noisy = weights_map(
-            lambda v: v + rng.normal(0.0, self.sigma, size=v.shape),
-            bounded)
-        self._noise_buffer_bytes = sum(
-            v.nbytes for layer in noisy for v in layer.values())
-        return weights_zip_map(np.add, self._round_global, noisy)
+        update = as_store(weights, layout=self._round_global.layout)
+        delta = update - self._round_global
+        bounded = clip_store(delta, self.norm_bound)
+        bounded.buffer += rng.normal(0.0, self.sigma,
+                                     size=bounded.num_params)
+        self._noise_buffer_bytes = bounded.nbytes
+        return self._round_global + bounded
 
     def state_bytes(self) -> int:
         return self._noise_buffer_bytes

@@ -76,6 +76,28 @@ class TestFLClient:
         client.train_round(client.model.get_weights(), 0)
         assert calls == ["receive", "send"]
 
+    def test_train_seconds_is_per_round_not_cumulative(
+            self, rng, tiny_model_factory):
+        """Regression: with the shared cost meter, each round's update
+        must report that round's own wall time, not the meter's
+        cumulative training total."""
+        from repro.fl.costs import CostMeter
+        meter = CostMeter()
+        data = synthetic_tabular(rng, 60, 20, 4, noise=0.2)
+        config = FLConfig(num_clients=1, rounds=2, local_epochs=2,
+                          lr=0.1, batch_size=16)
+        client = FLClient(0, tiny_model_factory(np.random.default_rng(1)),
+                          data, config, Defense(),
+                          np.random.default_rng(2), cost_meter=meter)
+        first = client.train_round(client.model.get_weights(), 0)
+        second = client.train_round(client.model.get_store(), 1)
+        total = meter.report.client_train_seconds
+        assert first.train_seconds > 0
+        assert second.train_seconds > 0
+        assert second.train_seconds < total
+        assert first.train_seconds + second.train_seconds == \
+            pytest.approx(total, rel=1e-6)
+
     def test_training_learns(self, rng, tiny_model_factory):
         config = FLConfig(num_clients=1, rounds=1, local_epochs=20,
                           lr=0.1, batch_size=16)

@@ -60,6 +60,40 @@ class TestEncodings:
         assert sparse_nbytes(mostly_same, weights) \
             < dense_nbytes(weights)
 
+    def test_dense_store_answers_from_layout(self, tiny_model):
+        store = tiny_model.get_store()
+        assert dense_nbytes(store) == store.layout.nbytes
+        assert dense_nbytes(store) == dense_nbytes(store.to_layers())
+
+    def test_sparse_store_matches_nested_without_reference(
+            self, tiny_model):
+        store = tiny_model.get_store()
+        store.buffer[::3] = 0.0
+        assert sparse_nbytes(store) == sparse_nbytes(store.to_layers())
+
+    def test_sparse_store_delta_matches_nested(self, tiny_model):
+        reference = tiny_model.get_store()
+        changed = reference.copy()
+        changed.view(0, "W")[0, 0] += 1.0
+        changed.view(2, "b")[:] += 0.5
+        expected = sparse_nbytes(changed.to_layers(),
+                                 reference.to_layers())
+        assert sparse_nbytes(changed, reference) == expected
+        # mixed representations agree too
+        assert sparse_nbytes(changed, reference.to_layers()) == expected
+
+    def test_sparse_all_zero_layers_cost_nothing_without_reference(self):
+        from repro.nn.store import WeightStore
+        weights = [{"W": np.zeros((3, 3)), "b": np.zeros(3)},
+                   {"W": np.array([[1.0, 0.0]])}]
+        assert sparse_nbytes(weights) == 1 * 12
+        assert sparse_nbytes(WeightStore.from_layers(weights)) == 1 * 12
+
+    def test_sparse_identical_delta_is_free(self, tiny_model):
+        store = tiny_model.get_store()
+        assert sparse_nbytes(store, store.copy()) == 0
+        assert sparse_nbytes(store.to_layers(), store.to_layers()) == 0
+
 
 class TestTrafficMeter:
     def test_records_exchange(self):

@@ -1,0 +1,225 @@
+"""Property-based tests for the flat weight plane.
+
+Two families of invariants:
+
+* **Round trips** — the store bridges lose nothing: nested -> store ->
+  nested is exact, and the store buffer *is* the canonical flatten
+  vector.
+* **Bitwise agreement** — the vectorized aggregation rules reproduce
+  the legacy nested-dict implementations bit for bit (same floats, not
+  just close), and DINAR's obfuscation consumes the RNG stream exactly
+  as the legacy per-array loop did.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dinar import DINAR
+from repro.fl.aggregation import (
+    UpdateBatch,
+    coordinate_median,
+    fedavg,
+    fedavg_reference,
+    sum_updates,
+    trimmed_mean,
+)
+from repro.nn.model import flatten_weights, unflatten_weights
+from repro.nn.store import WeightStore, as_store
+
+finite_floats = st.floats(min_value=-100, max_value=100,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def weight_structures(draw, min_layers=1):
+    """Random Weights: ``min_layers``-3 layers of 1-2 small arrays."""
+    num_layers = draw(st.integers(min_layers, 3))
+    structure = []
+    for _ in range(num_layers):
+        layer = {}
+        for key in draw(st.sampled_from([["W"], ["W", "b"]])):
+            rows = draw(st.integers(1, 4))
+            cols = draw(st.integers(1, 4))
+            values = draw(st.lists(finite_floats,
+                                   min_size=rows * cols,
+                                   max_size=rows * cols))
+            layer[key] = np.array(values).reshape(rows, cols)
+        structure.append(layer)
+    return structure
+
+
+@st.composite
+def client_cohorts(draw, min_clients=1, max_clients=6):
+    """A base structure plus per-client perturbed copies of it."""
+    base = draw(weight_structures())
+    n = draw(st.integers(min_clients, max_clients))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    updates = [
+        [{k: v + rng.standard_normal(v.shape) for k, v in layer.items()}
+         for layer in base]
+        for _ in range(n)
+    ]
+    samples = [draw(st.integers(1, 50)) for _ in range(n)]
+    return updates, samples
+
+
+def assert_bitwise_equal(store: WeightStore, nested) -> None:
+    """The store holds the exact same floats as the nested structure."""
+    reference = WeightStore.from_layers(nested, store.layout)
+    assert np.array_equal(store.buffer, reference.buffer)
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(weight_structures())
+def test_from_layers_to_layers_is_exact(weights):
+    rebuilt = WeightStore.from_layers(weights).to_layers()
+    assert len(rebuilt) == len(weights)
+    for layer, original in zip(rebuilt, weights):
+        assert layer.keys() == original.keys()
+        for key in original:
+            assert np.array_equal(layer[key], original[key])
+
+
+@settings(max_examples=60, deadline=None)
+@given(weight_structures())
+def test_store_buffer_is_the_flatten_vector(weights):
+    store = WeightStore.from_layers(weights)
+    flat = flatten_weights(weights)
+    assert np.array_equal(store.buffer, flat)
+    # and flattening the store is zero-copy over the same values
+    assert np.array_equal(flatten_weights(store), flat)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weight_structures())
+def test_unflatten_matches_store_bridge(weights):
+    store = WeightStore.from_layers(weights)
+    via_unflatten = unflatten_weights(store.readonly_vector(), weights)
+    via_store = store.to_layers()
+    for a, b in zip(via_unflatten, via_store):
+        assert a.keys() == b.keys()
+        for key in a:
+            assert np.array_equal(a[key], b[key])
+
+
+# ----------------------------------------------------------------------
+# old vs new aggregation: bitwise agreement
+# ----------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(client_cohorts())
+def test_vectorized_fedavg_matches_reference_bitwise(cohort):
+    updates, samples = cohort
+    expected = fedavg_reference(updates, samples)
+    out = fedavg(updates, samples)
+    assert_bitwise_equal(out, expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(client_cohorts())
+def test_fedavg_over_stores_and_batch_matches_reference(cohort):
+    updates, samples = cohort
+    expected = fedavg_reference(updates, samples)
+    stores = [as_store(u) for u in updates]
+    assert_bitwise_equal(fedavg(stores, samples), expected)
+    batch = UpdateBatch(stores[0].layout, capacity=1)
+    for update in updates:
+        batch.add(update)
+    assert_bitwise_equal(fedavg(batch, samples), expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(client_cohorts())
+def test_sum_updates_matches_legacy_sum_bitwise(cohort):
+    updates, _ = cohort
+    expected = [
+        {key: sum(u[layer_idx][key] for u in updates)
+         for key in updates[0][layer_idx]}
+        for layer_idx in range(len(updates[0]))
+    ]
+    assert_bitwise_equal(sum_updates(updates), expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(client_cohorts(min_clients=3))
+def test_trimmed_mean_matches_legacy_bitwise(cohort):
+    updates, _ = cohort
+    n = len(updates)
+    expected = [
+        {key: np.sort(np.stack([u[layer_idx][key] for u in updates]),
+                      axis=0)[1:n - 1].mean(axis=0)
+         for key in updates[0][layer_idx]}
+        for layer_idx in range(len(updates[0]))
+    ]
+    assert_bitwise_equal(trimmed_mean(updates, trim=1), expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(client_cohorts())
+def test_coordinate_median_matches_legacy_bitwise(cohort):
+    updates, _ = cohort
+    expected = [
+        {key: np.median(np.stack([u[layer_idx][key] for u in updates]),
+                        axis=0)
+         for key in updates[0][layer_idx]}
+        for layer_idx in range(len(updates[0]))
+    ]
+    assert_bitwise_equal(coordinate_median(updates), expected)
+
+
+# ----------------------------------------------------------------------
+# DINAR obfuscation: same RNG stream as the legacy per-array loop
+# ----------------------------------------------------------------------
+
+def legacy_obfuscate(weights, protected, rng, mode, scale):
+    """The seed implementation of Algorithm 1 lines 15-17, verbatim."""
+    def noise_std(array):
+        if mode == "gaussian":
+            return scale
+        return scale * max(float(array.std()), 1e-3)
+
+    out = [{k: v.copy() for k, v in layer.items()} for layer in weights]
+    for layer_idx in protected:
+        out[layer_idx] = {
+            k: rng.standard_normal(v.shape) * noise_std(v)
+            for k, v in weights[layer_idx].items()
+        }
+    return out
+
+
+@settings(max_examples=50, deadline=None)
+@given(weight_structures(min_layers=2),
+       st.sampled_from(["scaled", "gaussian"]),
+       st.integers(0, 2**32 - 1))
+def test_obfuscation_bitwise_matches_legacy(weights, mode, seed):
+    defense = DINAR(private_layer=-2, obfuscation=mode)
+    protected = defense.protected_indices(len(weights))
+    expected = legacy_obfuscate(
+        weights, protected, np.random.default_rng(seed), mode,
+        defense.obfuscation_scale)
+
+    sent = defense.on_send_update(
+        0, as_store(weights), num_samples=10,
+        rng=np.random.default_rng(seed))
+    assert_bitwise_equal(sent, expected)
+
+    # the stored private layer is the exact pre-obfuscation content
+    for layer_idx in protected:
+        for key, value in defense._stored[0][layer_idx].items():
+            assert np.array_equal(value, weights[layer_idx][key])
+
+
+@settings(max_examples=50, deadline=None)
+@given(weight_structures(min_layers=2), st.integers(0, 2**32 - 1))
+def test_obfuscation_identical_for_store_and_nested_input(weights, seed):
+    sent_nested = DINAR().on_send_update(
+        0, weights, num_samples=10, rng=np.random.default_rng(seed))
+    sent_store = DINAR().on_send_update(
+        0, as_store(weights), num_samples=10,
+        rng=np.random.default_rng(seed))
+    assert np.array_equal(sent_nested.buffer, sent_store.buffer)
