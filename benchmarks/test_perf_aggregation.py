@@ -3,8 +3,10 @@
 Times the seed implementation (:func:`fedavg_reference`, a Python walk
 over ``list[dict[str, ndarray]]`` updates) against the store-native
 reduction over a collected :class:`UpdateBatch` matrix at 10/50/100
-clients on two FCNN sizes, verifies the two paths agree bit for bit,
-and writes ``BENCH_aggregation.json`` at the repo root.
+clients on two FCNN sizes, verifies the two paths agree to within
+2 ULP (einsum's FMA contraction can round single coordinates 1 ULP
+away from the sequential reference), and writes
+``BENCH_aggregation.json`` at the repo root.
 
 Cohort updates land in the pooled matrix as they arrive (one row copy
 per upload, amortized across the round — reported separately as
@@ -69,6 +71,7 @@ def _collect(batch: UpdateBatch, stores) -> UpdateBatch:
     return batch
 
 
+@pytest.mark.bench
 def test_store_fedavg_beats_nested_walk():
     rng = np.random.default_rng(0)
     entries = []
@@ -84,10 +87,10 @@ def test_store_fedavg_beats_nested_walk():
 
             old = fedavg_reference(nested, samples)
             new = fedavg(_collect(batch, stores), samples)
-            assert np.array_equal(
+            np.testing.assert_array_almost_equal_nulp(
                 new.buffer,
-                WeightStore.from_layers(old, template.layout).buffer), \
-                f"{name}@{num_clients}: store path diverged bitwise"
+                WeightStore.from_layers(old, template.layout).buffer,
+                nulp=2)
 
             collect_seconds = _best_of(_collect, batch, stores)
             legacy_seconds = _best_of(fedavg_reference, nested, samples)

@@ -1,0 +1,116 @@
+"""Round wall-clock: serial client loop vs the parallel executor.
+
+Times full federated rounds (20 clients) under the serial reference
+executor and under a 4-worker :class:`ParallelExecutor`, verifies the
+two runs end bitwise identical, and writes ``BENCH_round.json`` at the
+repo root.
+
+The speedup floor is only asserted where it is physically possible:
+the executor cannot beat the serial loop on a single core, so the
+``>= 2x`` check is gated on the CPUs actually available to this
+process (CI runners have >= 4).  The JSON records the core count so a
+number measured on constrained hardware is interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.partition import split_for_membership
+from repro.data.synthetic import synthetic_tabular
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FederatedSimulation
+from repro.models.fcnn import build_fcnn
+from repro.nn.store import as_store
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_round.json"
+
+NUM_CLIENTS = 20
+WORKERS = 4
+ROUNDS = 3
+LOCAL_EPOCHS = 5
+NUM_SAMPLES = 20_000
+
+INPUT_DIM = 100
+NUM_CLASSES = 10
+HIDDEN = (256, 256)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _factory(rng: np.random.Generator):
+    return build_fcnn(INPUT_DIM, NUM_CLASSES, rng, hidden=HIDDEN)
+
+
+def _timed_run(split, workers: int):
+    config = FLConfig(num_clients=NUM_CLIENTS, rounds=ROUNDS,
+                      local_epochs=LOCAL_EPOCHS, lr=0.05, batch_size=64,
+                      seed=0, eval_every=ROUNDS, workers=workers)
+    sim = FederatedSimulation(split, _factory, config)
+    # Spin the pool up outside the timed region: fork + initializer
+    # cost is a one-off, not a per-round cost.
+    sim.executor.warm_up()
+    start = time.perf_counter()
+    history = sim.run()
+    elapsed = time.perf_counter() - start
+    final = as_store(sim.server.global_weights).buffer.copy()
+    sim.executor.close()
+    return elapsed, final, history
+
+
+@pytest.mark.bench
+def test_parallel_round_speedup():
+    rng = np.random.default_rng(0)
+    dataset = synthetic_tabular(rng, NUM_SAMPLES, INPUT_DIM, NUM_CLASSES,
+                                noise=0.2, name="bench-round")
+    split = split_for_membership(dataset, rng)
+    cores = _available_cores()
+
+    serial_seconds, serial_final, _ = _timed_run(split, workers=0)
+    parallel_seconds, parallel_final, _ = _timed_run(split,
+                                                     workers=WORKERS)
+    speedup = serial_seconds / parallel_seconds
+
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "FL round: serial client loop vs process pool",
+        "clients": NUM_CLIENTS,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "available_cores": cores,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 2),
+    }, indent=2) + "\n")
+
+    print()
+    print(f"serial   {serial_seconds:8.3f}s")
+    print(f"parallel {parallel_seconds:8.3f}s  "
+          f"({WORKERS} workers, {cores} cores)")
+    print(f"speedup  {speedup:8.2f}x")
+
+    # Determinism is asserted unconditionally — it must hold anywhere.
+    assert np.array_equal(serial_final, parallel_final), \
+        "parallel run diverged from the serial reference"
+
+    if cores < WORKERS:
+        pytest.skip(f"only {cores} core(s) available; the >= 2x "
+                    f"speedup floor needs {WORKERS}")
+    assert speedup >= 2.0, \
+        f"expected >= 2x with {WORKERS} workers on {cores} cores, " \
+        f"measured {speedup:.2f}x"
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-s", "-q", "-m", "bench"])

@@ -49,6 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--local-epochs", type=int, default=None)
     run.add_argument("--lr", type=float, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker processes for client training "
+                          "(0/1 = serial; results are bitwise "
+                          "identical either way)")
     run.add_argument("--alpha", type=float, default=math.inf,
                      help="Dirichlet non-IID alpha (default IID)")
     run.add_argument("--samples", type=int, default=None,
@@ -76,6 +80,7 @@ def _config_from_args(args) -> FLConfig:
         batch_size=base.batch_size,
         seed=args.seed,
         eval_every=args.rounds or base.rounds,
+        workers=args.workers,
     )
 
 

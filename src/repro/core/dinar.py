@@ -45,16 +45,23 @@ class _StoredLayer(dict):
     slice assignment.
     """
 
-    __slots__ = ("flat",)
+    __slots__ = ("flat", "entries")
 
     def __init__(self, flat: np.ndarray,
                  entries: Sequence[LayoutEntry]) -> None:
         super().__init__()
         self.flat = flat
+        self.entries = tuple(entries)
         base = entries[0].offset
         for e in entries:
             lo = e.offset - base
             self[e.key] = flat[lo:lo + e.size].reshape(e.shape)
+
+    def __reduce__(self):
+        # The dict payload is views into ``flat``; rebuilding from
+        # ``(flat, entries)`` round-trips through pickle without
+        # duplicating the buffer (executor ships these to workers).
+        return (_StoredLayer, (self.flat, self.entries))
 
 
 class DINAR(Defense):
@@ -159,7 +166,8 @@ class DINAR(Defense):
     # ------------------------------------------------------------------
     # Algorithm 1, lines 7-14: adaptive model training
     # ------------------------------------------------------------------
-    def make_optimizer(self, model: Model, lr: float) -> Optimizer:
+    def make_optimizer(self, model: Model, lr: float,
+                       rng: np.random.Generator | None = None) -> Optimizer:
         # Rebuilt every round by the client: G starts at 0 (line 8).
         return make_optimizer(
             self.optimizer_name, model, self.lr if self.lr else lr)
@@ -196,6 +204,18 @@ class DINAR(Defense):
         # scaled: match the replaced array's own magnitude (floored so
         # an all-zero bias vector still gets non-degenerate noise)
         return self.obfuscation_scale * max(float(array.std()), 1e-3)
+
+    # ------------------------------------------------------------------
+    # executor state protocol: a client's state is its stored layers
+    # ------------------------------------------------------------------
+    def export_client_state(self, client_id: int):
+        return self._stored.get(client_id)
+
+    def import_client_state(self, client_id: int, state) -> None:
+        if state is None:
+            self._stored.pop(client_id, None)
+        else:
+            self._stored[client_id] = state
 
     def state_bytes(self) -> int:
         return sum(

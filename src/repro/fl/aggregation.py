@@ -8,14 +8,17 @@ Every rule reduces a ``(num_clients, num_params)`` matrix of flat
 client updates with one NumPy operation per column chunk and returns a
 :class:`~repro.nn.store.WeightStore`.  Legacy nested ``Weights``
 updates are accepted and bridged; :func:`fedavg_reference` retains the
-seed nested-dict implementation as the bitwise oracle the property
-tests and the aggregation benchmark compare against.
+seed nested-dict implementation as the oracle the property tests and
+the aggregation benchmark compare against.
 
 The weighted column sum is computed with ``np.einsum`` over column
-chunks, which accumulates clients *sequentially* — bit-for-bit the
-rounding order of the legacy per-array ``sum()`` loop — while keeping
-the accumulator cache-resident (the chunking is what buys the speedup
-on models larger than cache).
+chunks, which accumulates clients sequentially in the same order as
+the legacy per-array ``sum()`` loop while keeping the accumulator
+cache-resident (the chunking is what buys the speedup on models larger
+than cache).  einsum may contract each multiply-add as a fused FMA,
+whose deferred rounding can shift individual coordinates by 1 ULP
+relative to the reference's separate multiply-then-add — agreement is
+therefore ULP-level, not bitwise (see the property tests).
 """
 
 from __future__ import annotations
@@ -99,10 +102,11 @@ def _weighted_colsum(matrix: np.ndarray, coeffs: np.ndarray,
                      out: np.ndarray | None = None) -> np.ndarray:
     """``sum_i coeffs[i] * matrix[i]`` per column, chunked.
 
-    ``einsum`` accumulates the client axis sequentially, so every
-    output coordinate carries exactly the rounding sequence of the
-    legacy ``sum(c_i * u_i)`` loop (bit-for-bit), while the chunking
-    keeps throughput high on out-of-cache models.
+    ``einsum`` accumulates the client axis sequentially in the order
+    of the legacy ``sum(c_i * u_i)`` loop, while the chunking keeps
+    throughput high on out-of-cache models.  Each ``c_i * u_i + acc``
+    step may execute as one fused multiply-add, so coordinates can
+    differ from the reference by 1 ULP.
     """
     num_params = matrix.shape[1]
     if out is None:
@@ -164,14 +168,15 @@ def coordinate_median(updates: Updates) -> WeightStore:
 
 
 # ----------------------------------------------------------------------
-# the seed implementation, retained as the bitwise oracle
+# the seed implementation, retained as the oracle
 # ----------------------------------------------------------------------
 
 def fedavg_reference(updates: Sequence[Weights],
                      num_samples: Sequence[int]) -> Weights:
     """The original nested-dict FedAvg (kept verbatim).
 
-    Property tests assert :func:`fedavg` matches it bit-for-bit, and
+    Property tests assert :func:`fedavg` matches it to within 2 ULP
+    (FMA contraction inside einsum), and
     ``benchmarks/test_perf_aggregation.py`` times it against the
     vectorized path.
     """

@@ -23,6 +23,7 @@ from repro.data.loader import iterate_batches
 from repro.data.synthetic import Dataset
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
+from repro.fl.executor import round_rng
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Model
@@ -40,6 +41,8 @@ class ClientUpdate:
     num_samples: int
     #: Wall time this client spent training in *this* round.
     train_seconds: float
+    #: Wall time this client's defense hooks took in *this* round.
+    defense_seconds: float = 0.0
 
 
 class FLClient:
@@ -47,7 +50,7 @@ class FLClient:
 
     def __init__(self, client_id: int, model: Model, data: Dataset,
                  config: FLConfig, defense: Defense,
-                 rng: np.random.Generator,
+                 rng: np.random.Generator | None = None,
                  loss: Loss | None = None,
                  cost_meter: CostMeter | None = None) -> None:
         if len(data) == 0:
@@ -57,11 +60,14 @@ class FLClient:
         self.data = data
         self.config = config
         self.defense = defense
-        self.rng = rng
+        # Placeholder stream until the first round replaces it with the
+        # (round, client)-spawned one; see ``train_round``.
+        self.rng = rng if rng is not None \
+            else np.random.default_rng((config.seed, 1, client_id))
         self.loss = loss or SoftmaxCrossEntropy()
         self.cost_meter = cost_meter or CostMeter()
         self.personal_weights: WeightStore | None = None
-        model.attach_rng(rng)
+        model.attach_rng(self.rng)
 
     @property
     def num_samples(self) -> int:
@@ -69,15 +75,28 @@ class FLClient:
         return len(self.data)
 
     def train_round(self, global_weights: WeightsLike,
-                    round_index: int) -> ClientUpdate:
-        """Run one FL round: personalize, train locally, protect, upload."""
+                    round_index: int, *,
+                    rng: np.random.Generator | None = None) -> ClientUpdate:
+        """Run one FL round: personalize, train locally, protect, upload.
+
+        Every source of randomness this round consumes — dropout
+        masks, batch shuffles, defense noise, DP-SGD noise — draws
+        from one stream spawned for the ``(round, client)`` cell, so
+        the round's outcome is independent of which process executes
+        it and of every other client (bitwise reproducibility across
+        executors).
+        """
+        if rng is None:
+            rng = round_rng(self.config.seed, round_index, self.client_id)
+        self.rng = rng
+        self.model.attach_rng(rng)
         received = self.defense.on_receive_global(
             self.client_id, global_weights)
         self.model.set_weights(received)
 
-        # The cost meter is shared across clients and rounds, so this
-        # round's own wall time is the meter's delta around training —
-        # not the cumulative total.
+        # The cost meter may be shared across rounds, so this round's
+        # own wall time is the meter's delta around each phase — not
+        # the cumulative total.
         trained_before = self.cost_meter.report.client_train_seconds
         with self.cost_meter.client_training():
             self._train_local()
@@ -88,10 +107,13 @@ class FLClient:
         # layer intact; this is what the client uses for predictions.
         self.personal_weights = self.model.get_store()
 
+        defended_before = self.cost_meter.report.client_defense_seconds
         with self.cost_meter.client_defense():
             sent = self.defense.on_send_update(
                 self.client_id, self.model.get_store(),
                 self.num_samples, self.rng)
+        defense_seconds = self.cost_meter.report.client_defense_seconds \
+            - defended_before
         self.cost_meter.record_defense_state(self.defense.state_bytes())
 
         return ClientUpdate(
@@ -99,6 +121,7 @@ class FLClient:
             weights=sent,
             num_samples=self.num_samples,
             train_seconds=train_seconds,
+            defense_seconds=defense_seconds,
         )
 
     def _train_local(self) -> None:
@@ -110,7 +133,8 @@ class FLClient:
         ``mu * (w - w_round_start)`` is added to every gradient,
         limiting client drift on non-IID shards (extension).
         """
-        optimizer = self.defense.make_optimizer(self.model, self.config.lr)
+        optimizer = self.defense.make_optimizer(
+            self.model, self.config.lr, rng=self.rng)
         if optimizer is None:
             optimizer = make_optimizer(
                 self.config.optimizer, self.model, self.config.lr)

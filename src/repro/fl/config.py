@@ -25,6 +25,9 @@ class FLConfig:
     eval_every: int = 1                   # evaluate every k rounds
     proximal_mu: float = 0.0              # FedProx term (0 = plain FedAvg)
     server_momentum: float = 0.0          # FedAvgM (0 = plain FedAvg)
+    #: Worker processes for client training; 0/1 = serial reference.
+    #: Any value produces bitwise-identical results (see fl.executor).
+    workers: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -53,3 +56,6 @@ class FLConfig:
             raise ValueError(
                 f"server_momentum must be in [0, 1), "
                 f"got {self.server_momentum}")
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0, got {self.workers}")

@@ -77,6 +77,23 @@ class CostMeter:
                 time.perf_counter() - start
             self.report.server_rounds += 1
 
+    def merge_client_round(self, train_seconds: float,
+                           defense_seconds: float = 0.0) -> None:
+        """Fold one client's round timing into this meter.
+
+        The executor measures each client round where it actually runs
+        (possibly a worker process) and the simulation merges the
+        deltas here, so the aggregate report means the same thing
+        under serial and parallel execution: total client compute, not
+        parent wall-clock.
+        """
+        if train_seconds < 0 or defense_seconds < 0:
+            raise ValueError("round timings must be >= 0, got "
+                             f"{train_seconds}/{defense_seconds}")
+        self.report.client_train_seconds += train_seconds
+        self.report.client_defense_seconds += defense_seconds
+        self.report.client_train_rounds += 1
+
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""
         self.report.defense_state_bytes = max(

@@ -1,0 +1,289 @@
+"""Round executors: the per-round client fan-out as a subsystem.
+
+After the flat weight plane made aggregation cheap, per-round
+wall-clock is dominated by the strictly sequential client-training
+loop.  This module turns that loop into a pluggable
+:class:`RoundExecutor`:
+
+* :class:`SerialExecutor` — the reference implementation, one client
+  after another in the parent process;
+* :class:`ParallelExecutor` — fans the cohort out across a
+  ``fork``-based process pool, shipping each client's round as one
+  :class:`ClientTask` (the global model as the flat ``WeightStore``
+  buffer — one contiguous float64 array, cheap to pickle — plus the
+  defense state that client's hooks read) and reassembling
+  :class:`ClientRoundResult` objects on the parent.
+
+Determinism is the design constraint, not an afterthought: every
+client's round RNG is derived via
+``np.random.SeedSequence(seed, spawn_key=(round_index, client_id))``
+(see :func:`round_rng`), so a client's random stream depends only on
+``(seed, round, client)`` — never on which process runs it or in what
+order — and serial and parallel executions are **bitwise identical**.
+
+What crosses the process boundary is explicit and nothing else does:
+
+* parent -> worker: the round index, the global weight-plane buffer,
+  the defense's round-shared state and the client's own defense state
+  (:meth:`Defense.export_round_state` /
+  :meth:`Defense.export_client_state`);
+* worker -> parent: the transmitted update buffer, the personalized
+  weight buffer, wall-clock deltas for the cost meters, and the
+  client's post-round defense state.
+
+Worker processes are forked from the fully constructed simulation, so
+datasets and model structure are inherited copy-on-write and are never
+pickled.  The parent's client objects stay authoritative for
+evaluation state (``personal_weights``), which the simulation writes
+back from the returned results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.nn.store import Layout, WeightStore, as_store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.fl.client import FLClient
+    from repro.fl.config import FLConfig
+    from repro.privacy.defenses.base import Defense
+
+
+def round_rng(seed: int, round_index: int,
+              client_id: int) -> np.random.Generator:
+    """The dedicated RNG stream of one ``(round, client)`` cell.
+
+    Spawned from the run seed with ``spawn_key=(round_index,
+    client_id)``, so the stream is a pure function of the experiment
+    seed and the cell — independent of execution order, of which
+    process runs the client, and of every other client's consumption.
+    This is what makes serial and parallel runs bitwise identical.
+    """
+    sequence = np.random.SeedSequence(
+        seed, spawn_key=(int(round_index), int(client_id)))
+    return np.random.default_rng(sequence)
+
+
+@dataclass
+class ClientTask:
+    """Everything one client needs to run one round, picklable."""
+
+    round_index: int
+    client_id: int
+    #: The global model as the flat weight-plane vector.
+    global_buffer: np.ndarray
+    #: This client's defense state (``Defense.export_client_state``).
+    client_state: Any = None
+    #: Round-shared defense state (``Defense.export_round_state``).
+    round_state: Any = None
+
+
+@dataclass
+class ClientRoundResult:
+    """Everything one client's round produced, picklable."""
+
+    client_id: int
+    #: The transmitted (post-defense) update as a flat vector.
+    update_buffer: np.ndarray
+    #: The personalized (pre-defense) weights as a flat vector.
+    personal_buffer: np.ndarray
+    num_samples: int
+    train_seconds: float
+    defense_seconds: float
+    #: This client's defense state after the round.
+    client_state: Any
+    #: ``Defense.state_bytes()`` as seen where the round ran.
+    defense_state_bytes: int
+
+
+def execute_client_task(client: "FLClient", defense: "Defense",
+                        layout: Layout,
+                        task: ClientTask) -> ClientRoundResult:
+    """Run one client's round against explicit, shipped-in state.
+
+    This is the single code path both executors share: import the
+    defense state the client's hooks read, rebuild the global model
+    from the flat buffer, train with the cell's spawned RNG, and
+    export everything the parent needs.  Running it in-process
+    (serial) or in a forked worker (parallel) is therefore the *same*
+    computation, bit for bit.
+    """
+    defense.import_round_state(task.round_state)
+    defense.import_client_state(task.client_id, task.client_state)
+    global_weights = WeightStore(layout, task.global_buffer)
+    rng = round_rng(client.config.seed, task.round_index, task.client_id)
+    update = client.train_round(global_weights, task.round_index, rng=rng)
+    return ClientRoundResult(
+        client_id=task.client_id,
+        update_buffer=as_store(update.weights, layout=layout).buffer,
+        personal_buffer=client.personal_weights.buffer,
+        num_samples=update.num_samples,
+        train_seconds=update.train_seconds,
+        defense_seconds=update.defense_seconds,
+        client_state=defense.export_client_state(task.client_id),
+        defense_state_bytes=defense.state_bytes(),
+    )
+
+
+class RoundExecutor:
+    """Runs one FL round's cohort of client tasks."""
+
+    #: How many OS processes this executor trains clients on.
+    workers: int = 1
+
+    def run_round(self, tasks: Sequence[ClientTask]
+                  ) -> list[ClientRoundResult]:
+        """Execute every task, returning results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def warm_up(self) -> None:
+        """Pre-acquire resources (worker pools) ahead of the first round."""
+
+
+class SerialExecutor(RoundExecutor):
+    """The reference executor: clients run one after another."""
+
+    def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
+                 layout: Layout) -> None:
+        self.clients = list(clients)
+        self.defense = defense
+        self.layout = layout
+
+    def run_round(self, tasks: Sequence[ClientTask]
+                  ) -> list[ClientRoundResult]:
+        return [
+            execute_client_task(self.clients[task.client_id],
+                                self.defense, self.layout, task)
+            for task in tasks
+        ]
+
+
+# ----------------------------------------------------------------------
+# process-parallel execution
+# ----------------------------------------------------------------------
+
+@dataclass
+class _WorkerContext:
+    """Per-process replica of the simulation's client-side objects."""
+
+    clients: list
+    defense: Any
+    layout: Layout
+
+
+#: Bound once per worker process by the pool initializer.
+_WORKER_CONTEXT: _WorkerContext | None = None
+
+
+def _bind_worker_context(context: _WorkerContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_in_worker(task: ClientTask) -> ClientRoundResult:
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process has no bound context; "
+                           "the pool initializer did not run")
+    try:
+        return execute_client_task(
+            context.clients[task.client_id], context.defense,
+            context.layout, task)
+    except Exception as exc:
+        raise RuntimeError(
+            f"client {task.client_id} failed in round "
+            f"{task.round_index}: {exc!r}") from exc
+
+
+class ParallelExecutor(RoundExecutor):
+    """Fans client training out across a fork-based process pool.
+
+    Workers fork from the fully constructed simulation (datasets and
+    models are inherited, never pickled); each round's per-client
+    state travels explicitly inside the :class:`ClientTask` /
+    :class:`ClientRoundResult` pair.  Results are collected in task
+    order, so aggregation consumes updates in exactly the serial
+    cohort order.
+    """
+
+    def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
+                 layout: Layout, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ParallelExecutor needs >= 2 workers, got {workers}; "
+                "use SerialExecutor for single-process runs")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ParallelExecutor requires the 'fork' start method "
+                "(unavailable on this platform); run with workers=0")
+        self.clients = list(clients)
+        self.defense = defense
+        self.layout = layout
+        self.workers = workers
+        self._pool: _PoolExecutor | None = None
+
+    def _ensure_pool(self) -> _PoolExecutor:
+        if self._pool is None:
+            self._pool = _PoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_bind_worker_context,
+                initargs=(_WorkerContext(self.clients, self.defense,
+                                         self.layout),),
+            )
+        return self._pool
+
+    def run_round(self, tasks: Sequence[ClientTask]
+                  ) -> list[ClientRoundResult]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_in_worker, task) for task in tasks]
+        results: list[ClientRoundResult] = []
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                self.close()
+                raise RuntimeError(
+                    f"a worker process died while training client "
+                    f"{task.client_id} in round {task.round_index} "
+                    "(killed or crashed hard); the pool has been shut "
+                    "down and the round aborted") from exc
+        return results
+
+    def warm_up(self) -> None:
+        self._ensure_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(clients: Sequence["FLClient"], defense: "Defense",
+                  layout: Layout, config: "FLConfig") -> RoundExecutor:
+    """Build the executor ``config.workers`` asks for.
+
+    ``workers`` of 0 or 1 selects the serial reference; anything
+    larger fans out across that many worker processes.
+    """
+    if config.workers > 1:
+        return ParallelExecutor(clients, defense, layout,
+                                workers=config.workers)
+    return SerialExecutor(clients, defense, layout)

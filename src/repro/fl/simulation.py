@@ -5,6 +5,14 @@ round loop and records everything the evaluation needs afterwards: the
 global model, each client's transmitted (post-defense) update — the
 server-side attacker's view — and each client's personalized model —
 what the client actually predicts with.
+
+Client training within a round is delegated to a
+:class:`~repro.fl.executor.RoundExecutor` (``config.workers`` selects
+serial or process-parallel execution; both are bitwise identical).
+The simulation ships each client's round state through the executor
+explicitly — global weights out, update/personal weights and defense
+state back — and merges the returned cost/traffic deltas, so no
+client-side object is mutated behind the orchestrator's back.
 """
 
 from __future__ import annotations
@@ -20,14 +28,15 @@ from repro.data.partition import (
     partition_dirichlet,
     partition_iid,
 )
-from repro.fl.client import FLClient
+from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
+from repro.fl.executor import ClientTask, make_executor
 from repro.fl.network import NetworkModel, TrafficMeter, dense_nbytes
 from repro.fl.server import FLServer
 from repro.nn.metrics import accuracy
 from repro.nn.model import Model
-from repro.nn.store import WeightsLike
+from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 
 
@@ -91,6 +100,10 @@ class FederatedSimulation:
             for i, shard in enumerate(shards)
         ]
 
+        # Each client owns its meter: round timings travel back to the
+        # simulation's aggregate meter through the executor results, so
+        # the accounting works identically when clients train in
+        # worker processes.
         self.clients = [
             FLClient(
                 client_id=i,
@@ -98,12 +111,11 @@ class FederatedSimulation:
                 data=self.client_data[i],
                 config=config,
                 defense=self.defense,
-                rng=np.random.default_rng((config.seed, 1, i)),
-                cost_meter=self.cost_meter,
             )
             for i in range(config.num_clients)
         ]
         template = self.clients[0].model.get_store()
+        self._layout = template.layout
         self.server = FLServer(
             initial_weights=template,
             config=config,
@@ -111,14 +123,21 @@ class FederatedSimulation:
             rng=np.random.default_rng((config.seed, 2)),
             cost_meter=self.cost_meter,
         )
+        self.executor = make_executor(
+            self.clients, self.defense, self._layout, config)
         self.last_updates: dict[int, WeightsLike] = {}
         self.history = History()
 
     # ------------------------------------------------------------------
     def run(self) -> History:
         """Execute all configured FL rounds."""
-        for round_index in range(self.config.rounds):
-            self.run_round(round_index)
+        try:
+            for round_index in range(self.config.rounds):
+                self.run_round(round_index)
+        finally:
+            # Reap worker processes; the executor rebuilds its pool
+            # lazily if more rounds are run afterwards.
+            self.executor.close()
         return self.history
 
     def run_round(self, round_index: int) -> RoundRecord | None:
@@ -128,16 +147,47 @@ class FederatedSimulation:
             round_index, cohort, self.server.global_weights,
             np.random.default_rng((self.config.seed, 3, round_index)))
         download_bytes = dense_nbytes(self.server.global_weights)
-        updates = [
-            self.clients[cid].train_round(
-                self.server.global_weights, round_index)
+        global_store = as_store(self.server.global_weights)
+        round_state = self.defense.export_round_state()
+        tasks = [
+            ClientTask(
+                round_index=round_index,
+                client_id=cid,
+                global_buffer=global_store.buffer,
+                client_state=self.defense.export_client_state(cid),
+                round_state=round_state,
+            )
             for cid in cohort
         ]
-        for update in updates:
+        results = self.executor.run_round(tasks)
+
+        updates = []
+        for result in results:
+            self.defense.import_client_state(
+                result.client_id, result.client_state)
+            client = self.clients[result.client_id]
+            client.personal_weights = WeightStore(
+                self._layout, result.personal_buffer)
+            self.cost_meter.merge_client_round(
+                result.train_seconds, result.defense_seconds)
+            self.cost_meter.record_defense_state(
+                result.defense_state_bytes)
+            update = ClientUpdate(
+                client_id=result.client_id,
+                weights=WeightStore(self._layout, result.update_buffer),
+                num_samples=result.num_samples,
+                train_seconds=result.train_seconds,
+                defense_seconds=result.defense_seconds,
+            )
+            updates.append(update)
             self.last_updates[update.client_id] = update.weights
             self.traffic_meter.record_exchange(
                 round_index, update.client_id, download_bytes,
                 self.defense.upload_nbytes(update.weights))
+        # The parent's defense holds the merged per-client state, so
+        # its memory footprint is authoritative (worker copies only
+        # ever see one client's slice).
+        self.cost_meter.record_defense_state(self.defense.state_bytes())
         self.server.aggregate(updates)
 
         if (round_index + 1) % self.config.eval_every and \

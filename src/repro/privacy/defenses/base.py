@@ -16,11 +16,21 @@ Per-client state (DINAR's stored private layers, SA's masks) is keyed
 by client id inside the defense object.  ``make_optimizer`` lets a
 defense impose its own local-training optimizer (DINAR's adaptive
 gradient descent); returning None keeps the experiment default.
+
+The export/import state hooks make that keyed state explicit so the
+round executor (see ``repro.fl.executor``) can ship exactly one
+client's slice of it into a worker process and merge the post-round
+slice back — the defense object itself is never synchronized across
+processes.  ``export_round_state`` covers state ``on_round_start``
+computes on the parent that every client's hooks read (SA's cohort
+masks, compression's round-start global).  The default hooks carry
+nothing, which is correct for any stateless defense.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -60,9 +70,37 @@ class Defense:
         """Transform the aggregated model on the server."""
         return weights
 
-    def make_optimizer(self, model: Model, lr: float) -> Optimizer | None:
-        """Optionally impose a local-training optimizer."""
+    def make_optimizer(self, model: Model, lr: float,
+                       rng: np.random.Generator | None = None
+                       ) -> Optimizer | None:
+        """Optionally impose a local-training optimizer.
+
+        ``rng`` is the calling client's per-``(round, client)`` stream;
+        defenses whose optimizer draws noise (DP-SGD) must use it so
+        the draw is independent of construction order across processes.
+        """
         return None
+
+    # ------------------------------------------------------------------
+    # executor state protocol
+    # ------------------------------------------------------------------
+    def export_client_state(self, client_id: int) -> Any:
+        """Picklable snapshot of one client's defense state (or None)."""
+        return None
+
+    def import_client_state(self, client_id: int, state: Any) -> None:
+        """Install one client's defense state; None clears it."""
+
+    def export_round_state(self) -> Any:
+        """Picklable snapshot of round-shared state (or None).
+
+        Called on the parent after ``on_round_start``; shipped to every
+        client task of the round.
+        """
+        return None
+
+    def import_round_state(self, state: Any) -> None:
+        """Install round-shared state before a client's hooks run."""
 
     def upload_nbytes(self, weights: WeightsLike) -> int:
         """Wire size of one transmitted update.

@@ -57,6 +57,28 @@ class GradientCompression(Defense):
         return WeightStore(self._round_global.layout,
                            self._round_global.buffer + sparse)
 
+    # ------------------------------------------------------------------
+    # executor state protocol
+    # ------------------------------------------------------------------
+    def export_client_state(self, client_id: int):
+        return self._residuals.get(client_id)
+
+    def import_client_state(self, client_id: int, state) -> None:
+        if state is None:
+            self._residuals.pop(client_id, None)
+        else:
+            self._residuals[client_id] = state
+
+    def export_round_state(self):
+        if self._round_global is None:
+            return None
+        return (self._round_global.layout, self._round_global.buffer)
+
+    def import_round_state(self, state) -> None:
+        if state is not None:
+            layout, buffer = state
+            self._round_global = WeightStore(layout, buffer)
+
     def upload_nbytes(self, weights: WeightsLike) -> int:
         """GC transmits the sparse delta, not the dense model."""
         from repro.fl.network import sparse_nbytes

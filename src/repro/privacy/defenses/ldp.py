@@ -77,27 +77,48 @@ class LocalDP(Defense):
         self.noise_multiplier = noise_multiplier
         self.accountant = PrivacyAccountant(epsilon, delta)
         self.seed = seed
-        self.updates_released = 0
+        self._released: dict[int, int] = {}
         self._optimizers = 0
         self._state_bytes = 0
 
-    def make_optimizer(self, model: Model, lr: float) -> Optimizer:
+    @property
+    def updates_released(self) -> int:
+        """Total updates released across all clients."""
+        return sum(self._released.values())
+
+    def make_optimizer(self, model: Model, lr: float,
+                       rng: np.random.Generator | None = None) -> Optimizer:
         self._optimizers += 1
         # Per-parameter noise buffers live alongside the model, which is
         # what drives the paper's DP memory overhead.
         self._state_bytes = 2 * model.num_parameters() * 8
+        if rng is None:
+            # Legacy standalone path: a fresh counter-derived stream.
+            # FL rounds pass the client's (round, client) stream instead
+            # so the noise is independent of construction order.
+            rng = np.random.default_rng((self.seed, self._optimizers))
         return DPSGD(
             model, lr, clip_norm=self.clip_norm,
             noise_multiplier=self.noise_multiplier,
-            rng=np.random.default_rng((self.seed, self._optimizers)))
+            rng=rng)
 
     def on_send_update(self, client_id: int, weights: Weights,
                        num_samples: int,
                        rng: np.random.Generator) -> Weights:
         # The privacy spend happened inside DP-SGD (accounted in the
         # noise-multiplier derivation); just count the release.
-        self.updates_released += 1
+        self._released[client_id] = self._released.get(client_id, 0) + 1
         return weights
+
+    # ------------------------------------------------------------------
+    # executor state protocol: per-client release counts travel so the
+    # parent's accounting stays exact under parallel execution
+    # ------------------------------------------------------------------
+    def export_client_state(self, client_id: int):
+        return self._released.get(client_id, 0)
+
+    def import_client_state(self, client_id: int, state) -> None:
+        self._released[client_id] = int(state or 0)
 
     def state_bytes(self) -> int:
         return self._state_bytes

@@ -79,6 +79,25 @@ class SecureAggregation(Defense):
         masked.buffer += self._masks[client_id]
         return masked
 
+    # ------------------------------------------------------------------
+    # executor state protocol: a client's state is its round mask
+    # ------------------------------------------------------------------
+    def export_client_state(self, client_id: int):
+        return self._masks.get(client_id)
+
+    def import_client_state(self, client_id: int, state) -> None:
+        if state is None:
+            self._masks.pop(client_id, None)
+        else:
+            self._masks[client_id] = state
+
+    def export_round_state(self):
+        return self._layout
+
+    def import_round_state(self, state) -> None:
+        if state is not None:
+            self._layout = state
+
     def state_bytes(self) -> int:
         return sum(mask.nbytes for mask in self._masks.values())
 

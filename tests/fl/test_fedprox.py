@@ -48,6 +48,6 @@ def test_zero_mu_matches_plain_training(tiny_model_factory):
 
 
 def test_prox_still_learns(tiny_model_factory):
-    client = _client(tiny_model_factory, 0.1, epochs=20)
+    client = _client(tiny_model_factory, 0.1, epochs=40)
     client.train_round(client.model.get_weights(), 0)
     assert client.evaluate(client.data.x, client.data.y) > 0.7

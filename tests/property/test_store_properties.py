@@ -8,7 +8,11 @@ Two families of invariants:
 * **Bitwise agreement** — the vectorized aggregation rules reproduce
   the legacy nested-dict implementations bit for bit (same floats, not
   just close), and DINAR's obfuscation consumes the RNG stream exactly
-  as the legacy per-array loop did.
+  as the legacy per-array loop did.  One deliberate exception: the
+  einsum-backed weighted reduction in ``fedavg`` may contract with
+  fused multiply-adds, whose different rounding points can move single
+  coordinates by 1 ULP relative to the sequential reference sum — those
+  two comparisons allow a 2-ULP tolerance instead.
 """
 
 import numpy as np
@@ -70,6 +74,17 @@ def assert_bitwise_equal(store: WeightStore, nested) -> None:
     assert np.array_equal(store.buffer, reference.buffer)
 
 
+def assert_ulp_close(store: WeightStore, nested, nulp: int = 2) -> None:
+    """Same floats up to ``nulp`` units in the last place.
+
+    Used only where FMA contraction inside einsum can legitimately
+    round differently from a sequential sum.
+    """
+    reference = WeightStore.from_layers(nested, store.layout)
+    np.testing.assert_array_almost_equal_nulp(
+        store.buffer, reference.buffer, nulp=nulp)
+
+
 # ----------------------------------------------------------------------
 # round trips
 # ----------------------------------------------------------------------
@@ -113,11 +128,11 @@ def test_unflatten_matches_store_bridge(weights):
 
 @settings(max_examples=50, deadline=None)
 @given(client_cohorts())
-def test_vectorized_fedavg_matches_reference_bitwise(cohort):
+def test_vectorized_fedavg_matches_reference(cohort):
     updates, samples = cohort
     expected = fedavg_reference(updates, samples)
     out = fedavg(updates, samples)
-    assert_bitwise_equal(out, expected)
+    assert_ulp_close(out, expected)
 
 
 @settings(max_examples=50, deadline=None)
@@ -126,11 +141,11 @@ def test_fedavg_over_stores_and_batch_matches_reference(cohort):
     updates, samples = cohort
     expected = fedavg_reference(updates, samples)
     stores = [as_store(u) for u in updates]
-    assert_bitwise_equal(fedavg(stores, samples), expected)
+    assert_ulp_close(fedavg(stores, samples), expected)
     batch = UpdateBatch(stores[0].layout, capacity=1)
     for update in updates:
         batch.add(update)
-    assert_bitwise_equal(fedavg(batch, samples), expected)
+    assert_ulp_close(fedavg(batch, samples), expected)
 
 
 @settings(max_examples=50, deadline=None)

@@ -13,7 +13,7 @@ if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
     ruff check src tests benchmarks tools
     echo "== ruff format (check only) =="
-    ruff format --check src tests benchmarks tools || true
+    ruff format --check src tests benchmarks tools
 else
     echo "== ruff not installed; skipping lint =="
 fi
