@@ -131,8 +131,10 @@ def _norm_observations(model: Model, x: np.ndarray, y: np.ndarray,
     idx = rng.choice(len(x), size=n, replace=False)
     observations = np.zeros((n, model.num_trainable_layers))
     for row, i in enumerate(idx):
+        # Zero-copy views into the flat gradient buffer: the norms are
+        # consumed immediately, before the next backward pass.
         vectors = model.per_layer_gradient_vectors(
-            x[i:i + 1], y[i:i + 1], loss)
+            x[i:i + 1], y[i:i + 1], loss, copy=False)
         observations[row] = [float(np.linalg.norm(v)) for v in vectors]
     return observations
 

@@ -45,6 +45,22 @@ class ClientUpdate:
     defense_seconds: float = 0.0
 
 
+def add_proximal_term(model: Model, mu: float,
+                      anchor: np.ndarray) -> None:
+    """Add the FedProx gradient ``mu * (w - w_anchor)`` in place.
+
+    One flat vector op per maximal trainable segment of the model's
+    gradient buffer — non-trainable coordinates (batch-norm running
+    statistics) carry no gradient and must stay exactly zero, so the
+    whole-buffer form is deliberately avoided.  ``anchor`` is a flat
+    snapshot of the round-start weight buffer.
+    """
+    params = model.weights.buffer
+    grads = model.grad_vector
+    for segment in model.weight_layout().param_segments:
+        grads[segment] += mu * (params[segment] - anchor[segment])
+
+
 class FLClient:
     """One cross-silo FL participant."""
 
@@ -140,7 +156,7 @@ class FLClient:
                 self.config.optimizer, self.model, self.config.lr)
         notify = getattr(optimizer, "notify_batch_size", None)
         mu = self.config.proximal_mu
-        anchors = self.model.get_weights() if mu > 0 else None
+        anchor = self.model.weights.buffer.copy() if mu > 0 else None
         for _ in range(self.config.local_epochs):
             for bx, by in iterate_batches(
                     self.data.x, self.data.y, self.config.batch_size,
@@ -149,14 +165,8 @@ class FLClient:
                     notify(len(bx))  # DP-SGD scales noise by batch size
                 self.model.loss_and_grad(bx, by, self.loss)
                 if mu > 0:
-                    self._add_proximal_term(mu, anchors)
+                    add_proximal_term(self.model, mu, anchor)
                 optimizer.step()
-
-    def _add_proximal_term(self, mu: float, anchors) -> None:
-        """Add the FedProx gradient ``mu * (w - anchor)`` in place."""
-        for layer, anchor in zip(self.model.trainable, anchors):
-            for key, param in layer.params.items():
-                layer.grads[key] += mu * (param - anchor[key])
 
     def personalized_model(self) -> Model:
         """The client's prediction model (private layer restored)."""

@@ -46,6 +46,38 @@ class ResidualBlock(Layer):
         merged.update({f"conv2.{k}": v for k, v in self.conv2.grads.items()})
         return merged
 
+    def adopt_views(self, params: dict[str, np.ndarray],
+                    buffers: dict[str, np.ndarray],
+                    grads: dict[str, np.ndarray]) -> None:
+        """Route flat-plane views to the sublayers by name prefix.
+
+        The merged ``conv1.W``-style names the block exposes are split
+        back into each convolution's own keys, so the sublayers bind
+        their slices of the model buffers directly.
+        """
+        if buffers:
+            raise KeyError(f"{self.name} owns no buffers, got "
+                           f"{sorted(buffers)}")
+
+        def split(views: dict[str, np.ndarray]
+                  ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+            first: dict[str, np.ndarray] = {}
+            second: dict[str, np.ndarray] = {}
+            for key, view in views.items():
+                if key.startswith("conv1."):
+                    first[key[len("conv1."):]] = view
+                elif key.startswith("conv2."):
+                    second[key[len("conv2."):]] = view
+                else:
+                    raise KeyError(
+                        f"{self.name} has no parameter {key!r}")
+            return first, second
+
+        params1, params2 = split(params)
+        grads1, grads2 = split(grads)
+        self.conv1.adopt_views(params1, {}, grads1)
+        self.conv2.adopt_views(params2, {}, grads2)
+
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         out = self.conv1.forward(x, training=training)
         out = self.relu_inner.forward(out, training=training)

@@ -29,7 +29,7 @@ from repro.nn.layers import (
     MaxPool2d,
 )
 from repro.nn.losses import Loss, MSELoss, SoftmaxCrossEntropy
-from repro.nn.model import Model, Weights, weights_like, zeros_like_weights
+from repro.nn.model import Model, Weights
 from repro.nn.optim import (
     ADGD,
     AdaMax,
@@ -55,6 +55,7 @@ from repro.nn.store import (
     WeightStore,
     as_layers,
     as_store,
+    chunked_sq_sum,
 )
 
 __all__ = [
@@ -98,10 +99,9 @@ __all__ = [
     "WeightsLike",
     "as_layers",
     "as_store",
+    "chunked_sq_sum",
     "load_store",
     "load_weights",
     "make_optimizer",
     "save_weights",
-    "weights_like",
-    "zeros_like_weights",
 ]

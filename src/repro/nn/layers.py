@@ -73,7 +73,11 @@ class Layer:
         return out
 
     def set_state(self, state: dict[str, np.ndarray]) -> None:
-        """Load arrays produced by :meth:`state` (in-place, shape-checked)."""
+        """Load arrays produced by :meth:`state` (in-place, shape-checked).
+
+        Raises ``KeyError`` for any name the layer does not own — a
+        silently dropped key would desynchronize FL weight exchange.
+        """
         for key, value in state.items():
             if key in self.params:
                 target = self.params[key]
@@ -85,6 +89,55 @@ class Layer:
                 raise ValueError(
                     f"{self.name}.{key}: shape {value.shape} != {target.shape}")
             target[...] = value
+
+    def adopt_views(self, params: dict[str, np.ndarray],
+                    buffers: dict[str, np.ndarray],
+                    grads: dict[str, np.ndarray]) -> None:
+        """Rebind this layer's arrays onto externally owned views.
+
+        The model's flat parameter plane calls this once at
+        construction: each view is a zero-copy window into the model's
+        weight (or gradient) buffer.  Current values are copied into
+        the param/buffer views, then the views *replace* the layer's
+        private arrays — from here on, reading ``self.params["W"]``
+        reads the model buffer and ``backward`` writes gradients
+        straight into the flat gradient buffer.
+
+        Raises ``KeyError`` if the mapping names an array the layer
+        does not own, or leaves an owned array uncovered (a partial
+        rebind would silently split the layer across two planes).
+        """
+        if set(params) != set(self._params) \
+                or set(buffers) != set(self._buffers) \
+                or set(grads) != set(self._params):
+            given = sorted(set(params) | set(buffers) | set(grads))
+            owned = sorted(set(self._params) | set(self._buffers))
+            raise KeyError(
+                f"{self.name}: view names {given} do not cover exactly "
+                f"the owned arrays {owned}")
+        for key, view in params.items():
+            view[...] = self._params[key]
+            self._params[key] = view
+        for key, view in buffers.items():
+            view[...] = self._buffers[key]
+            self._buffers[key] = view
+        self._grads.clear()
+        self._grads.update(grads)
+
+    def _grad_out(self, key: str) -> np.ndarray:
+        """Destination array for one gradient write.
+
+        The flat-plane view bound by :meth:`adopt_views` when the layer
+        belongs to a model; a lazily allocated private array for
+        standalone layers (gradient checks, unit tests).  ``backward``
+        implementations must fill this in place (``out=`` / ``[...]=``)
+        rather than rebind ``self.grads[key]``.
+        """
+        out = self._grads.get(key)
+        if out is None:
+            out = np.empty_like(self._params[key])
+            self._grads[key] = out
+        return out
 
     def num_parameters(self) -> int:
         """Total trainable scalar count."""
@@ -112,8 +165,8 @@ class Dense(Layer):
         return x @ self.params["W"] + self.params["b"]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        self.grads["W"] = self._x.T @ grad
-        self.grads["b"] = grad.sum(axis=0)
+        np.matmul(self._x.T, grad, out=self._grad_out("W"))
+        grad.sum(axis=0, out=self._grad_out("b"))
         out = grad @ self.params["W"].T
         self._x = None
         return out
@@ -195,8 +248,9 @@ class Conv2d(Layer):
         grad_flat = grad.transpose(0, 2, 3, 1)
         cols2d = self._cols.reshape(-1, self._cols.shape[-1])
         grad2d = grad_flat.reshape(-1, self.out_channels)
-        self.grads["W"] = (grad2d.T @ cols2d).reshape(self.params["W"].shape)
-        self.grads["b"] = grad2d.sum(axis=0)
+        np.matmul(grad2d.T, cols2d,
+                  out=self._grad_out("W").reshape(self.out_channels, -1))
+        grad2d.sum(axis=0, out=self._grad_out("b"))
         w_flat = self.params["W"].reshape(self.out_channels, -1)
         dcols = grad_flat @ w_flat
         out = _col2im(dcols, self._x_shape, k, k, s, p)
@@ -245,8 +299,9 @@ class Conv1d(Layer):
         grad4 = grad.transpose(0, 2, 1)[:, None, :, :]  # (n,1,out_l,C_out)
         cols2d = self._cols.reshape(-1, self._cols.shape[-1])
         grad2d = grad4.reshape(-1, self.out_channels)
-        self.grads["W"] = (grad2d.T @ cols2d).reshape(self.params["W"].shape)
-        self.grads["b"] = grad2d.sum(axis=0)
+        np.matmul(grad2d.T, cols2d,
+                  out=self._grad_out("W").reshape(self.out_channels, -1))
+        grad2d.sum(axis=0, out=self._grad_out("b"))
         w_flat = self.params["W"].reshape(self.out_channels, -1)
         dcols = grad4 @ w_flat
         dx4 = _col2im(dcols, self._x4_shape, 1, k, s, 0)
@@ -415,8 +470,8 @@ class BatchNorm1d(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         xhat, std = self._xhat, self._std
         n = grad.shape[0]
-        self.grads["gamma"] = (grad * xhat).sum(axis=0)
-        self.grads["beta"] = grad.sum(axis=0)
+        (grad * xhat).sum(axis=0, out=self._grad_out("gamma"))
+        grad.sum(axis=0, out=self._grad_out("beta"))
         dxhat = grad * self.params["gamma"]
         out = (dxhat - dxhat.mean(axis=0)
                - xhat * (dxhat * xhat).mean(axis=0)) / std

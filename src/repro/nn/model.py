@@ -1,10 +1,20 @@
-"""Sequential model with layer-indexed weight access.
+"""Sequential model owning its parameters as one flat buffer.
 
-The federated substrate exchanges :data:`Weights` — a list with one
-``{name: array}`` dict per *parameter-carrying* layer, ordered front to
-back.  That layer-indexed representation is exactly the handle DINAR
-needs: "obfuscate layer p" is ``weights[p] = random``, "personalize layer
-p" is ``weights[p] = stored_private_layer``.
+The model's parameters live in a single contiguous
+:class:`~repro.nn.store.WeightStore` buffer plus a parallel flat
+gradient buffer; every parameter-carrying layer holds zero-copy shaped
+views into those buffers (bound once at construction via
+``Layer.adopt_views``).  Training, optimization, DP clipping and
+FedProx therefore operate on whole flat vectors, and weight exchange
+(`get_store`/`set_store`, `clone`) is a single buffer copy.
+
+The federated substrate still exchanges :data:`Weights` — a list with
+one ``{name: array}`` dict per *parameter-carrying* layer, ordered
+front to back — as the legacy bridge format.  That layer-indexed
+representation is exactly the handle DINAR needs: "obfuscate layer p"
+is ``weights[p] = random``, "personalize layer p" is
+``weights[p] = stored_private_layer``; store-native code uses
+``Layout.layer_slice(p)`` for the same handle.
 """
 
 from __future__ import annotations
@@ -30,8 +40,49 @@ class Model:
                  name: str = "model") -> None:
         self.layers = list(layers)
         self.name = name
+        self._bind_flat()
         if rng is not None:
             self.attach_rng(rng)
+
+    def _bind_flat(self) -> None:
+        """Move every parameter onto the flat plane (construction-time).
+
+        Allocates the weight store and the parallel gradient buffer,
+        then rebinds each trainable layer's params/buffers/grads to
+        zero-copy views into them.  Gradient coordinates of
+        non-trainable buffers (batch-norm running stats) are never
+        written and stay exactly 0.0 — whole-buffer optimizer updates
+        are bitwise no-ops there.
+        """
+        trainable = self.trainable
+        if not trainable:
+            self._layout = None
+            self._store = None
+            self._grad_buffer = None
+            self._grads_ready = False
+            return
+        layout = Layout.from_model(self)
+        store = WeightStore(layout, np.empty(layout.num_params))
+        grad_buffer = np.zeros(layout.num_params)
+        for idx, layer in enumerate(trainable):
+            params: dict[str, np.ndarray] = {}
+            buffers: dict[str, np.ndarray] = {}
+            grads: dict[str, np.ndarray] = {}
+            for entry in layout.layer_entries(idx):
+                view = store.buffer[entry.offset:entry.stop] \
+                    .reshape(entry.shape)
+                if entry.trainable:
+                    params[entry.key] = view
+                    grads[entry.key] = \
+                        grad_buffer[entry.offset:entry.stop] \
+                        .reshape(entry.shape)
+                else:
+                    buffers[entry.key] = view
+            layer.adopt_views(params, buffers, grads)
+        self._layout = layout
+        self._store = store
+        self._grad_buffer = grad_buffer
+        self._grads_ready = False
 
     def attach_rng(self, rng: np.random.Generator) -> None:
         """Provide the random source consumed by stochastic layers."""
@@ -70,6 +121,7 @@ class Model:
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
+        self._grads_ready = True
         return grad
 
     def loss_and_grad(self, x: np.ndarray, y: np.ndarray,
@@ -81,18 +133,24 @@ class Model:
         return value
 
     def per_layer_gradient_vectors(self, x: np.ndarray, y: np.ndarray,
-                                   loss: Loss) -> list[np.ndarray]:
+                                   loss: Loss, *,
+                                   copy: bool = True) -> list[np.ndarray]:
         """Flattened gradient per trainable layer for one batch.
 
         This is the measurement underlying the paper's §3 layer-leakage
         analysis: gradients of each layer produced by predictions on a
-        batch of (member or non-member) samples.
+        batch of (member or non-member) samples.  Each vector is a
+        contiguous slice of the flat gradient buffer; with
+        ``copy=False`` the slices are zero-copy views, valid until the
+        next backward pass overwrites them.
         """
         self.loss_and_grad(x, y, loss)
-        return [
-            np.concatenate([g.ravel() for g in layer.grads.values()])
-            for layer in self.trainable
-        ]
+        layout = self.weight_layout()
+        vectors = []
+        for idx in range(layout.num_layers):
+            segment = self._grad_buffer[layout.layer_param_slice(idx)]
+            vectors.append(segment.copy() if copy else segment)
+        return vectors
 
     # ------------------------------------------------------------------
     # inference
@@ -118,7 +176,12 @@ class Model:
     # weight exchange
     # ------------------------------------------------------------------
     def get_weights(self) -> Weights:
-        """Deep copy of all exchanged arrays, one dict per trainable layer."""
+        """Deep copy of all exchanged arrays, one dict per trainable layer.
+
+        Legacy bridge format (per-array copies by construction); the
+        hot paths use :meth:`get_store` / :attr:`weights`, which cost a
+        single flat buffer copy (or none).
+        """
         return [layer.state() for layer in self.trainable]
 
     def set_weights(self, weights: WeightsLike) -> None:
@@ -136,48 +199,89 @@ class Model:
             layer.set_state(state)
 
     # ------------------------------------------------------------------
-    # store-native weight exchange
+    # flat parameter plane
     # ------------------------------------------------------------------
+    @property
+    def weights(self) -> WeightStore:
+        """The *live* flat weight store (zero-copy).
+
+        Mutating its buffer mutates the model — every layer's params
+        and buffers are views into it.  Use :meth:`get_store` for an
+        independent snapshot.
+        """
+        if self._store is None:
+            raise ValueError(f"{self.name} has no trainable layers")
+        return self._store
+
+    @property
+    def grad_vector(self) -> np.ndarray:
+        """The live flat gradient buffer, parallel to ``weights``.
+
+        Coordinates of non-trainable buffers are permanently 0.0;
+        trainable coordinates hold the last backward pass's gradients.
+        """
+        if self._grad_buffer is None:
+            raise ValueError(f"{self.name} has no trainable layers")
+        return self._grad_buffer
+
+    @property
+    def grads_ready(self) -> bool:
+        """Whether a backward pass has populated the gradient buffer."""
+        return self._grads_ready
+
     def weight_layout(self) -> Layout:
-        """The model's flat-buffer layout (cached; structure is fixed)."""
-        layout = getattr(self, "_weight_layout", None)
-        if layout is None:
-            layout = Layout.from_model(self)
-            self._weight_layout = layout
-        return layout
+        """The model's flat-buffer layout (fixed at construction)."""
+        if self._layout is None:
+            raise ValueError(f"{self.name} has no trainable layers")
+        return self._layout
 
     def get_store(self) -> WeightStore:
-        """All exchanged arrays as one fresh contiguous flat buffer."""
-        layout = self.weight_layout()
-        store = WeightStore(layout, np.empty(layout.num_params))
-        buf = store.buffer
-        entries = iter(layout.entries)
-        for layer in self.trainable:
-            for value in list(layer.params.values()) \
-                    + list(layer.buffers.values()):
-                entry = next(entries)
-                buf[entry.offset:entry.stop] = value.reshape(-1)
-        return store
+        """Snapshot of all exchanged arrays: one flat buffer copy."""
+        return WeightStore(self.weight_layout(),
+                           self.weights.buffer.copy())
 
     def set_store(self, store: WeightStore) -> None:
-        """Load a store produced by :meth:`get_store` (shape-checked)."""
+        """Load a store produced by :meth:`get_store`: one buffer copy."""
         layout = self.weight_layout()
         if store.layout is not layout and store.layout != layout:
             raise ValueError(
                 f"{self.name}: store layout {store.layout} does not "
                 f"match model layout {layout}")
-        buf = store.buffer
-        entries = iter(layout.entries)
-        for layer in self.trainable:
-            for value in list(layer.params.values()) \
-                    + list(layer.buffers.values()):
-                entry = next(entries)
-                value[...] = buf[entry.offset:entry.stop] \
-                    .reshape(entry.shape)
+        self._store.buffer[...] = store.buffer
 
     def clone(self) -> "Model":
-        """Structural deep copy (weights included)."""
-        return copy.deepcopy(self)
+        """Independent copy: buffer copies plus a cheap structure copy.
+
+        The layout is immutable and shared; the weight and gradient
+        buffers are copied once each, and every bound view is pre-mapped
+        (via the deepcopy memo) to the matching view over the new
+        buffers, so the clone's layers alias *its own* flat plane
+        exactly as the original's alias the original's.
+        """
+        if self._store is None:
+            return copy.deepcopy(self)
+        layout = self._layout
+        new_buffer = self._store.buffer.copy()
+        new_grads = self._grad_buffer.copy()
+        memo: dict[int, object] = {
+            id(layout): layout,
+            id(self._store.buffer): new_buffer,
+            id(self._grad_buffer): new_grads,
+        }
+        for idx, layer in enumerate(self.trainable):
+            params = layer.params
+            buffers = layer.buffers
+            grads = layer.grads
+            for entry in layout.layer_entries(idx):
+                source = params[entry.key] if entry.trainable \
+                    else buffers[entry.key]
+                memo[id(source)] = new_buffer[entry.offset:entry.stop] \
+                    .reshape(entry.shape)
+                if entry.trainable:
+                    memo[id(grads[entry.key])] = \
+                        new_grads[entry.offset:entry.stop] \
+                        .reshape(entry.shape)
+        return copy.deepcopy(self, memo)
 
 
 # ----------------------------------------------------------------------
@@ -201,18 +305,6 @@ def weights_zip_map(fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
             raise ValueError(f"layer keys differ: {sorted(la)} vs {sorted(lb)}")
         out.append({k: fn(la[k], lb[k]) for k in la})
     return out
-
-
-def zeros_like_weights(weights: Weights) -> Weights:
-    """A zero-filled structure with the same shapes."""
-    return weights_map(np.zeros_like, weights)
-
-
-def weights_like(weights: Weights, rng: np.random.Generator, *,
-                 scale: float = 1.0) -> Weights:
-    """Gaussian random structure with the same shapes (obfuscation noise)."""
-    return weights_map(
-        lambda v: rng.standard_normal(v.shape) * scale, weights)
 
 
 def flatten_weights(weights: WeightsLike) -> np.ndarray:

@@ -1,4 +1,12 @@
-"""Optimizers.
+"""Optimizers over the flat parameter plane.
+
+Every update rule operates on the model's whole flat weight buffer and
+flat gradient buffer in one shot — no per-``(layer, key)`` Python loop
+— with optimizer state held as flat vectors of the same length.
+Gradient coordinates of non-trainable buffers (batch-norm running
+statistics) are permanently zero, which makes every whole-buffer update
+a bitwise no-op there, so the flat rules reproduce the legacy per-array
+loops bit for bit.
 
 ``Adagrad`` implements Algorithm 1 (lines 8–14) of the paper verbatim:
 cumulative squared gradients ``G`` and the update
@@ -15,14 +23,17 @@ import math
 import numpy as np
 
 from repro.nn.model import Model
+from repro.nn.store import chunked_sq_sum
 
 
 class Optimizer:
-    """Base optimizer bound to a model.
+    """Base optimizer bound to a model's flat parameter plane.
 
-    State is keyed by ``(trainable_layer_index, param_name)`` so that a
-    client can keep its optimizer across FL rounds even though the model
-    weights are overwritten by the server at the start of each round.
+    State slots (:meth:`_slot`) are flat vectors parallel to the weight
+    buffer, keyed by name (``"momentum"``, ``"accum"``, ``"m"``, …), so
+    a client can keep its optimizer across FL rounds even though the
+    model weights are overwritten by the server at the start of each
+    round.
     """
 
     def __init__(self, model: Model, lr: float) -> None:
@@ -30,24 +41,39 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.model = model
         self.lr = lr
-        self.state: dict[tuple[int, str], np.ndarray] = {}
+        self.state: dict[str, np.ndarray] = {}
         self.steps = 0
+        # Model structure is fixed after construction, so this is a
+        # constant; a parameterless model makes step() a no-op.
+        self._paramless = model.num_trainable_layers == 0
+
+    def _flat_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """The live (weights, gradients) buffer pair, post-backward."""
+        if not self.model.grads_ready:
+            raise RuntimeError(
+                f"no gradients on {self.model.name}; run "
+                "loss_and_grad before step()")
+        return self.model.weights.buffer, self.model.grad_vector
 
     def step(self) -> None:
         """Apply one update from the gradients currently on the model."""
         self.steps += 1
-        for idx, layer in enumerate(self.model.trainable):
-            for key, param in layer.params.items():
-                grad = layer.grads.get(key)
-                if grad is None:
-                    raise RuntimeError(
-                        f"no gradient for {layer.name}.{key}; run "
-                        "loss_and_grad before step()")
-                self._update(idx, key, param, grad)
+        if self._paramless:
+            return
+        params, grads = self._flat_buffers()
+        self._update_flat(params, grads)
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
         raise NotImplementedError
+
+    def _slot(self, name: str) -> np.ndarray:
+        """A named flat state vector, zero-initialized on first use."""
+        buf = self.state.get(name)
+        if buf is None:
+            buf = np.zeros(self.model.weights.buffer.size)
+            self.state[name] = buf
+        return buf
 
     def reset(self) -> None:
         """Drop accumulated state (fresh start, e.g. for a new FL task)."""
@@ -65,15 +91,15 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
         if self.momentum:
-            buf = self.state.setdefault((idx, key), np.zeros_like(param))
+            buf = self._slot("momentum")
             buf *= self.momentum
-            buf += grad
-            param -= self.lr * buf
+            buf += grads
+            params -= self.lr * buf
         else:
-            param -= self.lr * grad
+            params -= self.lr * grads
 
 
 class Adagrad(Optimizer):
@@ -83,11 +109,11 @@ class Adagrad(Optimizer):
         super().__init__(model, lr)
         self.eps = eps
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
-        accum = self.state.setdefault((idx, key), np.zeros_like(param))
-        accum += grad ** 2
-        param -= self.lr * grad / np.sqrt(accum + self.eps)
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
+        accum = self._slot("accum")
+        accum += grads ** 2
+        params -= self.lr * grads / np.sqrt(accum + self.eps)
 
 
 class RMSProp(Optimizer):
@@ -99,12 +125,12 @@ class RMSProp(Optimizer):
         self.decay = decay
         self.eps = eps
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
-        accum = self.state.setdefault((idx, key), np.zeros_like(param))
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
+        accum = self._slot("accum")
         accum *= self.decay
-        accum += (1.0 - self.decay) * grad ** 2
-        param -= self.lr * grad / (np.sqrt(accum) + self.eps)
+        accum += (1.0 - self.decay) * grads ** 2
+        params -= self.lr * grads / (np.sqrt(accum) + self.eps)
 
 
 class Adam(Optimizer):
@@ -117,17 +143,17 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
-        m = self.state.setdefault((idx, key, "m"), np.zeros_like(param))
-        v = self.state.setdefault((idx, key, "v"), np.zeros_like(param))
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
+        m = self._slot("m")
+        v = self._slot("v")
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
+        m += (1.0 - self.beta1) * grads
         v *= self.beta2
-        v += (1.0 - self.beta2) * grad ** 2
+        v += (1.0 - self.beta2) * grads ** 2
         m_hat = m / (1.0 - self.beta1 ** self.steps)
         v_hat = v / (1.0 - self.beta2 ** self.steps)
-        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        params -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 class AdaMax(Optimizer):
@@ -140,15 +166,15 @@ class AdaMax(Optimizer):
         self.beta2 = beta2
         self.eps = eps
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:
-        m = self.state.setdefault((idx, key, "m"), np.zeros_like(param))
-        u = self.state.setdefault((idx, key, "u"), np.zeros_like(param))
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:
+        m = self._slot("m")
+        u = self._slot("u")
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
-        np.maximum(self.beta2 * u, np.abs(grad), out=u)
+        m += (1.0 - self.beta1) * grads
+        np.maximum(self.beta2 * u, np.abs(grads), out=u)
         m_hat = m / (1.0 - self.beta1 ** self.steps)
-        param -= self.lr * m_hat / (u + self.eps)
+        params -= self.lr * m_hat / (u + self.eps)
 
 
 class ADGD(Optimizer):
@@ -164,6 +190,12 @@ class ADGD(Optimizer):
     to zero) while the ``sqrt(1 + theta)`` growth path can run away —
     so the adapted step is clamped to ``[lr / cap_factor,
     lr * cap_factor]``, a standard stochastic safeguard.
+
+    Snapshots of the previous iterate/gradient are single flat buffer
+    copies, and the norms fold per layout entry
+    (:func:`~repro.nn.store.chunked_sq_sum`) over the trainable
+    coordinates only, reproducing the legacy per-array reduction
+    bitwise.
     """
 
     def __init__(self, model: Model, lr: float,
@@ -175,24 +207,20 @@ class ADGD(Optimizer):
         self._floor = lr / cap_factor
         self._lam = lr
         self._theta = float("inf")
-        self._prev_params: list[np.ndarray] | None = None
-        self._prev_grads: list[np.ndarray] | None = None
+        self._prev_params: np.ndarray | None = None
+        self._prev_grads: np.ndarray | None = None
 
     def step(self) -> None:
         self.steps += 1
-        params, grads = [], []
-        for layer in self.model.trainable:
-            for key in layer.params:
-                params.append(layer.params[key])
-                grads.append(layer.grads[key].copy())
-
+        if self._paramless:
+            return
+        params, grads = self._flat_buffers()
         if self._prev_params is not None:
-            dx = math.sqrt(sum(
-                float(((p - q) ** 2).sum())
-                for p, q in zip(params, self._prev_params)))
-            dg = math.sqrt(sum(
-                float(((g - h) ** 2).sum())
-                for g, h in zip(grads, self._prev_grads)))
+            chunks = self.model.weight_layout().param_entry_slices
+            dx = math.sqrt(
+                chunked_sq_sum(params - self._prev_params, chunks))
+            dg = math.sqrt(
+                chunked_sq_sum(grads - self._prev_grads, chunks))
             candidate = math.sqrt(1.0 + self._theta) * self._lam
             if dg > 1e-12:
                 candidate = min(candidate, dx / (2.0 * dg))
@@ -200,13 +228,12 @@ class ADGD(Optimizer):
             self._theta = candidate / self._lam
             self._lam = candidate
 
-        self._prev_params = [p.copy() for p in params]
-        self._prev_grads = grads
-        for param, grad in zip(params, grads):
-            param -= self._lam * grad
+        self._prev_params = params.copy()
+        self._prev_grads = grads.copy()
+        params -= self._lam * grads
 
-    def _update(self, idx: int, key: str, param: np.ndarray,
-                grad: np.ndarray) -> None:  # pragma: no cover - unused
+    def _update_flat(self, params: np.ndarray,
+                     grads: np.ndarray) -> None:  # pragma: no cover
         raise RuntimeError("ADGD overrides step() directly")
 
     def reset(self) -> None:

@@ -29,7 +29,7 @@ Design rules:
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -47,6 +47,12 @@ class LayoutEntry:
     shape: tuple[int, ...]
     offset: int
     size: int
+    #: Whether this entry is a trainable parameter (``False`` for
+    #: non-trainable buffers such as batch-norm running statistics).
+    #: Excluded from equality/hash so layouts derived from nested
+    #: structures — where the distinction is unknowable — still compare
+    #: equal to model-derived layouts with the same geometry.
+    trainable: bool = field(default=True, compare=False)
 
     @property
     def stop(self) -> int:
@@ -64,7 +70,9 @@ class Layout:
     """
 
     __slots__ = ("entries", "num_params", "num_layers",
-                 "_by_key", "_layer_slices", "_hash")
+                 "_by_key", "_layer_slices", "_hash",
+                 "_param_entry_slices", "_param_segments",
+                 "_layer_param_slices", "num_trainable")
 
     def __init__(self, entries: Sequence[LayoutEntry]) -> None:
         entries = tuple(entries)
@@ -101,6 +109,46 @@ class Layout:
             slice(starts[i], starts[i + 1])
             for i in range(self.num_layers))
         self._hash = hash(self.entries)
+        self._index_trainable()
+
+    def _index_trainable(self) -> None:
+        """Precompute the trainable-coordinate geometry.
+
+        ``_param_entry_slices`` keeps one slice per trainable entry —
+        the reduction chunks of :func:`chunked_sq_sum`, matching the
+        legacy per-array fold bitwise.  ``_param_segments`` merges
+        adjacent trainable entries into maximal runs — the fewest
+        slices that cover exactly the trainable coordinates, for
+        elementwise ops and contiguous RNG draws.
+        """
+        entry_slices: list[slice] = []
+        segments: list[slice] = []
+        per_layer: list[list[slice]] = [[] for _ in range(self.num_layers)]
+        for entry in self.entries:
+            if not entry.trainable:
+                continue
+            entry_slices.append(slice(entry.offset, entry.stop))
+            if segments and segments[-1].stop == entry.offset:
+                segments[-1] = slice(segments[-1].start, entry.stop)
+            else:
+                segments.append(slice(entry.offset, entry.stop))
+            per_layer[entry.layer_idx].append(
+                slice(entry.offset, entry.stop))
+        self._param_entry_slices = tuple(entry_slices)
+        self._param_segments = tuple(segments)
+        self.num_trainable = sum(s.stop - s.start for s in entry_slices)
+        layer_param_slices: list[slice | None] = []
+        for slices in per_layer:
+            if not slices:
+                layer_param_slices.append(
+                    slice(self.num_params, self.num_params))
+            elif all(a.stop == b.start
+                     for a, b in zip(slices, slices[1:])):
+                layer_param_slices.append(
+                    slice(slices[0].start, slices[-1].stop))
+            else:
+                layer_param_slices.append(None)
+        self._layer_param_slices = tuple(layer_param_slices)
 
     # ------------------------------------------------------------------
     # construction
@@ -130,12 +178,13 @@ class Layout:
         entries: list[LayoutEntry] = []
         offset = 0
         for layer_idx, layer in enumerate(model.trainable):
-            for key, value in list(layer.params.items()) \
-                    + list(layer.buffers.items()):
+            arrays = [(k, v, True) for k, v in layer.params.items()] \
+                + [(k, v, False) for k, v in layer.buffers.items()]
+            for key, value, trainable in arrays:
                 entries.append(LayoutEntry(
                     layer_idx=layer_idx, key=key,
                     shape=tuple(value.shape), offset=offset,
-                    size=int(value.size)))
+                    size=int(value.size), trainable=trainable))
                 offset += int(value.size)
         return cls(entries)
 
@@ -158,6 +207,42 @@ class Layout:
         """Key names of one layer, in layout order."""
         return tuple(e.key for e in self.entries
                      if e.layer_idx == layer_idx)
+
+    @property
+    def param_entry_slices(self) -> tuple[slice, ...]:
+        """One buffer slice per *trainable* entry, in layout order.
+
+        These are the reduction chunks whenever a squared-norm over the
+        trainable coordinates must reproduce the legacy per-array fold
+        bitwise (DP-SGD clipping, ADGD smoothness estimates) — see
+        :func:`chunked_sq_sum`.
+        """
+        return self._param_entry_slices
+
+    @property
+    def param_segments(self) -> tuple[slice, ...]:
+        """Maximal contiguous runs of *trainable* coordinates.
+
+        The fewest slices covering exactly the trainable coordinates;
+        elementwise updates and contiguous Gaussian draws over these
+        segments are bitwise identical to the legacy per-array loop
+        while skipping non-trainable buffers entirely.
+        """
+        return self._param_segments
+
+    def layer_param_slice(self, layer_idx: int) -> slice:
+        """The contiguous buffer range of one layer's trainable entries.
+
+        Well defined because per-layer layout order is params before
+        buffers; raises for exotic layouts where a non-trainable entry
+        interleaves a layer's parameters.
+        """
+        out = self._layer_param_slices[layer_idx]
+        if out is None:
+            raise ValueError(
+                f"layer {layer_idx}: trainable entries are not "
+                f"contiguous in this layout")
+        return out
 
     @property
     def nbytes(self) -> int:
@@ -215,8 +300,13 @@ class WeightStore:
         """Copy a legacy nested structure into a fresh store."""
         if layout is None:
             layout = Layout.from_layers(weights)
+        if len(weights) != layout.num_layers:
+            raise ValueError(
+                f"got {len(weights)} layer dicts, layout has "
+                f"{layout.num_layers} layers")
         store = cls(layout, np.empty(layout.num_params))
         buf = store.buffer
+        counts = [0] * layout.num_layers
         for entry in layout.entries:
             value = np.asarray(weights[entry.layer_idx][entry.key])
             if tuple(value.shape) != entry.shape:
@@ -224,6 +314,13 @@ class WeightStore:
                     f"layer {entry.layer_idx}/{entry.key}: shape "
                     f"{value.shape} != layout {entry.shape}")
             buf[entry.offset:entry.stop] = value.reshape(-1)
+            counts[entry.layer_idx] += 1
+        for layer_idx, layer in enumerate(weights):
+            if len(layer) != counts[layer_idx]:
+                extra = set(layer) - set(layout.layer_keys(layer_idx))
+                raise KeyError(
+                    f"layer {layer_idx} has keys the layout does not "
+                    f"own: {sorted(extra)}")
         return store
 
     @classmethod
@@ -396,3 +493,20 @@ def as_layers(weights: WeightsLike) -> Weights:
     if isinstance(weights, WeightStore):
         return weights.to_layers()
     return weights
+
+
+def chunked_sq_sum(vector: np.ndarray,
+                   chunks: Sequence[slice]) -> float:
+    """Sum of squares of ``vector`` over ``chunks``, folded per chunk.
+
+    ``float((vector ** 2).sum())`` over the whole buffer uses one
+    pairwise-summation tree and is NOT bitwise equal to the legacy
+    Python fold ``sum(float((g ** 2).sum()) for g in arrays)``.  This
+    left fold over per-chunk sums *is* — pass
+    :attr:`Layout.param_entry_slices` (one slice per legacy array) to
+    reproduce dict-plane gradient norms exactly.
+    """
+    total = 0.0
+    for chunk in chunks:
+        total += float((vector[chunk] ** 2).sum())
+    return total

@@ -25,6 +25,12 @@ processes.  ``export_round_state`` covers state ``on_round_start``
 computes on the parent that every client's hooks read (SA's cohort
 masks, compression's round-start global).  The default hooks carry
 nothing, which is correct for any stateless defense.
+
+Weight-plane defenses (noise, clipping, masking, compression) operate
+on the flat ``WeightStore`` buffer; gradient-plane defenses that hook
+local training (LDP's DP-SGD, DINAR's ADGD) step the model's flat
+gradient vector directly — see *The parameter plane* in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -80,6 +80,19 @@ class CentralDP(Defense):
         self._noise_buffer_bytes = noisy.nbytes
         return self._round_global + noisy
 
+    # ------------------------------------------------------------------
+    # executor state protocol
+    # ------------------------------------------------------------------
+    def export_round_state(self):
+        if self._round_global is None:
+            return None
+        return (self._round_global.layout, self._round_global.buffer)
+
+    def import_round_state(self, state) -> None:
+        if state is not None:
+            layout, buffer = state
+            self._round_global = WeightStore(layout, buffer)
+
     def state_bytes(self) -> int:
         return self._noise_buffer_bytes
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.nn.model import Model
 from repro.nn.optim import Optimizer
+from repro.nn.store import chunked_sq_sum
 
 
 def dp_sgd_noise_multiplier(epsilon: float, delta: float, *,
@@ -66,23 +67,30 @@ class DPSGD(Optimizer):
         self._last_batch_size = max(1, int(batch_size))
 
     def step(self) -> None:
+        """Whole-model clip + noise + descent as flat vector ops.
+
+        The squared norm folds per layout entry
+        (:func:`~repro.nn.store.chunked_sq_sum`) and the Gaussian noise
+        is drawn per maximal trainable segment, so both the clip scale
+        and the RNG stream match the legacy per-``(layer, key)`` loop
+        bitwise while skipping non-trainable buffer coordinates.
+        """
         self.steps += 1
-        grads = []
-        for layer in self.model.trainable:
-            for key in layer.params:
-                grads.append(layer.grads[key])
-        total_sq = sum(float((g ** 2).sum()) for g in grads)
-        norm = math.sqrt(total_sq)
+        if self._paramless:
+            return
+        params, grads = self._flat_buffers()
+        layout = self.model.weight_layout()
+        norm = math.sqrt(
+            chunked_sq_sum(grads, layout.param_entry_slices))
         scale = min(1.0, self.clip_norm / max(norm, 1e-12))
         noise_std = (self.noise_multiplier * self.clip_norm
                      / self._last_batch_size)
-        for layer in self.model.trainable:
-            for key, param in layer.params.items():
-                grad = layer.grads[key] * scale
-                if noise_std > 0:
-                    grad = grad + self.rng.normal(
-                        0.0, noise_std, size=grad.shape)
-                param -= self.lr * grad
+        update = grads * scale
+        if noise_std > 0:
+            for segment in layout.param_segments:
+                update[segment] += self.rng.normal(
+                    0.0, noise_std, size=segment.stop - segment.start)
+        params -= self.lr * update
 
-    def _update(self, idx, key, param, grad) -> None:  # pragma: no cover
+    def _update_flat(self, params, grads) -> None:  # pragma: no cover
         raise RuntimeError("DPSGD overrides step() directly")

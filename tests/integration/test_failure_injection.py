@@ -12,7 +12,7 @@ from repro.fl.client import ClientUpdate
 from repro.fl.config import FLConfig
 from repro.fl.simulation import FederatedSimulation
 from repro.models.fcnn import build_fcnn
-from repro.nn.model import weights_like, weights_map
+from repro.nn.model import weights_map
 
 
 def _factory(rng):
@@ -115,7 +115,9 @@ class TestMalformedWeights:
         """Random garbage of the right shape must load fine — DINAR's
         whole mechanism depends on that."""
         model = _factory(rng)
-        garbage = weights_like(model.get_weights(), rng, scale=100.0)
+        garbage = model.get_store()
+        garbage.buffer[:] = 100.0 * rng.standard_normal(
+            garbage.num_params)
         model.set_weights(garbage)
         out = model.predict_logits(rng.standard_normal((2, 30)))
         assert out.shape == (2, 4)

@@ -12,10 +12,8 @@ from repro.nn.model import (
     unflatten_weights,
     weights_allclose,
     weights_l2_norm,
-    weights_like,
     weights_map,
     weights_zip_map,
-    zeros_like_weights,
 )
 
 
@@ -110,13 +108,9 @@ class TestWeightHelpers:
         with pytest.raises(ValueError):
             unflatten_weights(np.zeros(3), weights)
 
-    def test_zeros_like(self, tiny_model):
-        zeros = zeros_like_weights(tiny_model.get_weights())
+    def test_zeros_like_store(self, tiny_model):
+        zeros = tiny_model.get_store().zeros_like()
         assert weights_l2_norm(zeros) == 0.0
-
-    def test_weights_like_uses_scale(self, tiny_model, rng):
-        noise = weights_like(tiny_model.get_weights(), rng, scale=1e-12)
-        assert weights_l2_norm(noise) < 1e-6
 
     def test_weights_map_preserves_structure(self, tiny_model):
         weights = tiny_model.get_weights()

@@ -1,0 +1,48 @@
+"""Regenerate the golden trajectory fixture.
+
+Runs every recipe in ``tests/fl/trajectory_recipes.py`` and writes the
+resulting vectors to ``tests/fixtures/trajectory_pins.npz``.  The
+committed fixture was produced by the dict-plane training path (the
+commit *before* the flat parameter plane landed); regenerating it on
+newer code only re-pins the current behaviour, so do that deliberately
+— e.g. after an intentional numeric change — never to silence a
+trajectory-pin failure you don't understand.
+
+Usage::
+
+    PYTHONPATH=src:tests python tools/gen_trajectory_pins.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from tests.fl.trajectory_recipes import build_recipes  # noqa: E402
+
+OUTPUT = REPO_ROOT / "tests" / "fixtures" / "trajectory_pins.npz"
+
+
+def main() -> None:
+    arrays: dict[str, np.ndarray] = {}
+    for name, recipe in build_recipes().items():
+        vector = recipe()
+        assert vector.dtype == np.float64 and vector.ndim == 1, name
+        assert np.isfinite(vector).all(), f"{name}: non-finite pin"
+        arrays[name] = vector
+        print(f"{name:32s} {vector.size:6d} values  "
+              f"l2={float(np.sqrt((vector ** 2).sum())):.6g}")
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(OUTPUT, **arrays)
+    print(f"wrote {OUTPUT} ({OUTPUT.stat().st_size} bytes, "
+          f"{len(arrays)} pins)")
+
+
+if __name__ == "__main__":
+    main()
