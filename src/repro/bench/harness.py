@@ -63,14 +63,15 @@ DINAR_LR = {
 }
 
 
-def make_model_factory(dataset_name: str
+def make_model_factory(dataset_name: str, *,
+                       dtype: np.dtype | str = np.float64
                        ) -> Callable[[np.random.Generator], Model]:
     """Factory building the paper-matched model family for a dataset."""
     spec = DATASET_SPECS[dataset_name]
 
     def factory(rng: np.random.Generator) -> Model:
         return build_model(spec.model_name, spec.shape, spec.num_classes,
-                           rng)
+                           rng, dtype=dtype)
 
     return factory
 
@@ -93,8 +94,13 @@ def default_config(dataset_name: str, *, seed: int = 0) -> FLConfig:
 
 def build_attack(name: str, dataset_name: str, split: MembershipSplit, *,
                  seed: int = 0, num_shadows: int = 2,
-                 shadow_epochs: int = 6):
-    """Build and (if needed) fit an attack by name."""
+                 shadow_epochs: int = 6,
+                 dtype: np.dtype | str = np.float64):
+    """Build and (if needed) fit an attack by name.
+
+    ``dtype`` reaches the shadow/reference model factories so attack
+    training runs at the same precision as the target.
+    """
     if name == "yeom":
         return LossThresholdAttack()
     if name == "entropy":
@@ -107,7 +113,7 @@ def build_attack(name: str, dataset_name: str, split: MembershipSplit, *,
         return ConfidenceThresholdAttack()
     if name == "shadow":
         attack = ShadowAttack(
-            make_model_factory(dataset_name),
+            make_model_factory(dataset_name, dtype=dtype),
             num_shadows=num_shadows, epochs=shadow_epochs, seed=seed)
         return attack.fit(split.attacker)
     if name == "calibrated":
@@ -115,7 +121,7 @@ def build_attack(name: str, dataset_name: str, split: MembershipSplit, *,
             ReferenceCalibratedAttack,
         )
         attack = ReferenceCalibratedAttack(
-            make_model_factory(dataset_name),
+            make_model_factory(dataset_name, dtype=dtype),
             num_references=num_shadows, epochs=shadow_epochs, seed=seed)
         return attack.fit(split.attacker)
     raise ValueError(f"unknown attack {name!r}; known: yeom, entropy, "
@@ -146,7 +152,7 @@ def run_experiment(dataset_name: str, defense: Defense | str = "none", *,
     """
     config = config or default_config(dataset_name, seed=seed)
     dataset = load_dataset(dataset_name, seed, n_samples=n_samples,
-                           noise=dataset_noise)
+                           noise=dataset_noise, dtype=config.dtype)
     split = split_for_membership(
         dataset, np.random.default_rng((seed, 17)))
 
@@ -158,11 +164,12 @@ def run_experiment(dataset_name: str, defense: Defense | str = "none", *,
                                           **defense_kwargs)
 
     simulation = FederatedSimulation(
-        split, make_model_factory(dataset_name), config, defense,
-        dirichlet_alpha=dirichlet_alpha)
+        split, make_model_factory(dataset_name, dtype=config.dtype),
+        config, defense, dirichlet_alpha=dirichlet_alpha)
     simulation.run()
 
-    attack_obj = build_attack(attack, dataset_name, split, seed=seed)
+    attack_obj = build_attack(attack, dataset_name, split, seed=seed,
+                              dtype=config.dtype)
     eval_rng = np.random.default_rng((seed, 23))
     result = ExperimentResult(
         dataset=dataset_name,

@@ -53,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes for client training "
                           "(0/1 = serial; results are bitwise "
                           "identical either way)")
+    run.add_argument("--dtype", default="float64",
+                     choices=["float32", "float64"],
+                     help="compute-plane precision (float64 is the "
+                          "bitwise reproduction default; float32 "
+                          "halves memory traffic and upload bytes)")
     run.add_argument("--alpha", type=float, default=math.inf,
                      help="Dirichlet non-IID alpha (default IID)")
     run.add_argument("--samples", type=int, default=None,
@@ -81,6 +86,7 @@ def _config_from_args(args) -> FLConfig:
         seed=args.seed,
         eval_every=args.rounds or base.rounds,
         workers=args.workers,
+        dtype=args.dtype,
     )
 
 

@@ -29,6 +29,7 @@ from repro.core.consensus import ConsensusResult, agree_on_private_layer
 from repro.core.sensitivity import LayerSensitivity, layer_divergences
 from repro.data.loader import iterate_batches
 from repro.data.synthetic import Dataset
+from repro.nn.dtypes import standard_normal
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Model
 from repro.nn.optim import Optimizer, make_optimizer
@@ -191,7 +192,7 @@ class DINAR(Defense):
                 # the noise std derives from the replaced array itself,
                 # so the draw stays per-array (in layout order — the
                 # same generator stream as the legacy loop)
-                noise = rng.standard_normal(e.shape)
+                noise = standard_normal(rng, e.shape, out.layout.dtype)
                 noise *= self._noise_std(view)
                 view[:] = noise
         self._stored[client_id] = stored

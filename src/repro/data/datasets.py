@@ -83,7 +83,8 @@ def available_datasets() -> list[str]:
 
 def load_dataset(name: str, rng: np.random.Generator | int | None = None, *,
                  n_samples: int | None = None,
-                 noise: float | None = None) -> Dataset:
+                 noise: float | None = None,
+                 dtype: np.dtype | str = np.float64) -> Dataset:
     """Build the synthetic stand-in for a paper dataset.
 
     Parameters
@@ -96,6 +97,9 @@ def load_dataset(name: str, rng: np.random.Generator | int | None = None, *,
     noise:
         Override the generator noise (higher noise widens the
         generalization gap a model must close by memorizing).
+    dtype:
+        Feature precision; the same seeded data cast to float32 or kept
+        at the float64 default.
     """
     try:
         spec = DATASET_SPECS[name]
@@ -109,13 +113,13 @@ def load_dataset(name: str, rng: np.random.Generator | int | None = None, *,
     level = spec.noise if noise is None else noise
     if spec.data_type == "tabular":
         ds = synthetic_tabular(rng, n, spec.shape[0], spec.num_classes,
-                               noise=level, name=name)
+                               noise=level, dtype=dtype, name=name)
     elif spec.data_type == "image":
         ds = synthetic_images(rng, n, spec.shape, spec.num_classes,
-                              noise=level, name=name)
+                              noise=level, dtype=dtype, name=name)
     elif spec.data_type == "audio":
         ds = synthetic_audio(rng, n, spec.shape[1], spec.num_classes,
-                             noise=level, name=name)
+                             noise=level, dtype=dtype, name=name)
     else:  # pragma: no cover - registry is static
         raise ValueError(f"bad data_type {spec.data_type!r}")
     ds.metadata["spec"] = spec

@@ -6,6 +6,11 @@ count, intra-class noise, class count — not on semantic content.  Each
 generator therefore produces class-prototype data with a controllable
 noise level: prototypes define the classes, noise controls how much a
 model must memorize individual samples to fit them.
+
+Every generator draws in double precision with a fixed stream layout —
+``dtype`` only casts the finished feature tensor, so float32 and float64
+datasets are the same data at different precisions (and the float64 path
+consumes the generator exactly as before the dtype knob existed).
 """
 
 from __future__ import annotations
@@ -81,6 +86,7 @@ def _balanced_labels(rng: np.random.Generator, n_samples: int,
 def synthetic_tabular(rng: np.random.Generator, n_samples: int,
                       n_features: int, n_classes: int, *,
                       binary: bool = True, noise: float = 0.2,
+                      dtype: np.dtype | str = np.float64,
                       name: str = "tabular") -> Dataset:
     """Class-prototype tabular data (Purchase100/Texas100 stand-in).
 
@@ -101,13 +107,14 @@ def synthetic_tabular(rng: np.random.Generator, n_samples: int,
         prototypes = rng.standard_normal((n_classes, n_features))
         x = prototypes[y] + noise * rng.standard_normal(
             (n_samples, n_features))
-    return Dataset(name=name, x=x, y=y, num_classes=n_classes,
-                   data_type="tabular")
+    return Dataset(name=name, x=x.astype(dtype, copy=False), y=y,
+                   num_classes=n_classes, data_type="tabular")
 
 
 def synthetic_images(rng: np.random.Generator, n_samples: int,
                      shape: tuple[int, int, int], n_classes: int, *,
                      noise: float = 0.35,
+                     dtype: np.dtype | str = np.float64,
                      name: str = "images") -> Dataset:
     """Class-prototype image tensors (CIFAR/GTSRB/CelebA stand-in).
 
@@ -123,13 +130,14 @@ def synthetic_images(rng: np.random.Generator, n_samples: int,
     prototypes = np.kron(low, np.ones((1, 1, 4, 4)))
     x = prototypes[y] + noise * rng.standard_normal(
         (n_samples, channels, height, width))
-    return Dataset(name=name, x=x, y=y, num_classes=n_classes,
-                   data_type="image")
+    return Dataset(name=name, x=x.astype(dtype, copy=False), y=y,
+                   num_classes=n_classes, data_type="image")
 
 
 def synthetic_audio(rng: np.random.Generator, n_samples: int, length: int,
                     n_classes: int, *, noise: float = 0.4,
                     n_harmonics: int = 3,
+                    dtype: np.dtype | str = np.float64,
                     name: str = "audio") -> Dataset:
     """Class-prototype waveforms (Speech Commands stand-in).
 
@@ -149,5 +157,5 @@ def synthetic_audio(rng: np.random.Generator, n_samples: int, length: int,
     jitter = rng.uniform(0.8, 1.2, size=(n_samples, 1))
     x = jitter * prototypes[y] + noise * rng.standard_normal(
         (n_samples, length))
-    return Dataset(name=name, x=x[:, None, :], y=y, num_classes=n_classes,
-                   data_type="audio")
+    return Dataset(name=name, x=x[:, None, :].astype(dtype, copy=False),
+                   y=y, num_classes=n_classes, data_type="audio")

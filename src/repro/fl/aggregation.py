@@ -49,7 +49,8 @@ class UpdateBatch:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.layout = layout
-        self._matrix = np.empty((capacity, layout.num_params))
+        self._matrix = np.empty((capacity, layout.num_params),
+                                dtype=layout.dtype)
         self._count = 0
 
     def reset(self) -> None:
@@ -60,7 +61,8 @@ class UpdateBatch:
         """Copy one client update into the next matrix row."""
         if self._count == len(self._matrix):
             grown = np.empty((2 * len(self._matrix),
-                              self.layout.num_params))
+                              self.layout.num_params),
+                             dtype=self.layout.dtype)
             grown[:self._count] = self._matrix[:self._count]
             self._matrix = grown
         store = as_store(update, layout=self.layout)
@@ -92,7 +94,8 @@ def _as_matrix(updates: Updates) -> tuple[np.ndarray, Layout]:
     first = updates[0]
     layout = first.layout if isinstance(first, WeightStore) \
         else Layout.from_layers(first)
-    matrix = np.empty((len(updates), layout.num_params))
+    matrix = np.empty((len(updates), layout.num_params),
+                      dtype=layout.dtype)
     for row, update in zip(matrix, updates):
         row[:] = as_store(update, layout=layout).buffer
     return matrix, layout
@@ -109,8 +112,13 @@ def _weighted_colsum(matrix: np.ndarray, coeffs: np.ndarray,
     differ from the reference by 1 ULP.
     """
     num_params = matrix.shape[1]
+    # einsum would otherwise promote a float32 matrix against float64
+    # coefficients; casting the (tiny) coefficient vector keeps the
+    # reduction in the matrix's precision.  A float64 matrix sees the
+    # exact same call as before.
+    coeffs = np.asarray(coeffs, dtype=matrix.dtype)
     if out is None:
-        out = np.empty(num_params)
+        out = np.empty(num_params, dtype=matrix.dtype)
     for lo in range(0, num_params, REDUCE_CHUNK):
         hi = min(lo + REDUCE_CHUNK, num_params)
         np.einsum("i,ip->p", coeffs, matrix[:, lo:hi], out=out[lo:hi])

@@ -23,10 +23,11 @@ def save_checkpoint(simulation: FederatedSimulation,
     """Write the simulation's resumable state into a directory."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    save_weights(simulation.server.global_weights,
-                 directory / "global.npz")
+    global_weights = simulation.server.global_weights
+    save_weights(global_weights, directory / "global.npz")
     meta = {
         "rounds_completed": len(simulation.history.records),
+        "dtype": global_weights.layout.dtype.name,
         "clients": [],
     }
     for client in simulation.clients:
@@ -59,6 +60,13 @@ def load_checkpoint(simulation: FederatedSimulation,
     """
     directory = pathlib.Path(directory)
     meta = json.loads((directory / "meta.json").read_text())
+    expected = simulation.server.global_weights.layout.dtype
+    saved = meta.get("dtype")
+    if saved is not None and np.dtype(saved) != expected:
+        raise ValueError(
+            f"checkpoint was written at dtype {saved} but the "
+            f"simulation computes in {expected.name}; rebuild the "
+            f"simulation with a matching FLConfig.dtype")
     simulation.server.global_weights = load_store(
         directory / "global.npz")
     for entry in meta["clients"]:

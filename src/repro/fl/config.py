@@ -28,6 +28,10 @@ class FLConfig:
     #: Worker processes for client training; 0/1 = serial reference.
     #: Any value produces bitwise-identical results (see fl.executor).
     workers: int = 0
+    #: Compute-plane precision: "float64" (bitwise reproduction
+    #: default) or "float32" (half the memory traffic and upload
+    #: bytes; see repro.nn.dtypes).
+    dtype: str = "float64"
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -59,3 +63,6 @@ class FLConfig:
         if self.workers < 0:
             raise ValueError(
                 f"workers must be >= 0, got {self.workers}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}")

@@ -53,7 +53,8 @@ class NetworkModel:
 
 
 def dense_nbytes(weights: WeightsLike) -> int:
-    """Bytes of a dense float64 encoding of a weight structure.
+    """Bytes of a dense encoding of a weight structure, at its own
+    precision — a float32 model uploads half the bytes of a float64 one.
 
     A :class:`~repro.nn.store.WeightStore` answers straight from its
     layout (O(1)); a nested structure is walked.
@@ -69,10 +70,11 @@ def sparse_nbytes(weights: WeightsLike,
     """Bytes of a sparse (index, value) delta encoding.
 
     Counts the coordinates that differ from ``reference`` (or are
-    non-zero when no reference is given); each costs a value plus an
-    index.  This is the wire format gradient compression buys its
-    bandwidth savings with.  Store inputs are compared over their flat
-    buffers in one vectorized pass; nested structures are walked.
+    non-zero when no reference is given); each costs a value at the
+    structure's own itemsize plus an index.  This is the wire format
+    gradient compression buys its bandwidth savings with.  Store inputs
+    are compared over their flat buffers in one vectorized pass; nested
+    structures are walked.
     """
     if isinstance(weights, WeightStore):
         if reference is None:
@@ -80,16 +82,17 @@ def sparse_nbytes(weights: WeightsLike,
         else:
             ref = WeightStore.as_store(reference, layout=weights.layout)
             nonzero = int(np.count_nonzero(weights.buffer != ref.buffer))
-        return nonzero * (8 + index_bytes)
-    nonzero = 0
+        return nonzero * (weights.buffer.itemsize + index_bytes)
+    total = 0
     for layer_idx, layer in enumerate(weights):
         for key, value in layer.items():
             if reference is None:
-                nonzero += int(np.count_nonzero(value))
+                nonzero = int(np.count_nonzero(value))
             else:
-                nonzero += int(np.count_nonzero(
+                nonzero = int(np.count_nonzero(
                     value != reference[layer_idx][key]))
-    return nonzero * (8 + index_bytes)
+            total += nonzero * (value.itemsize + index_bytes)
+    return total
 
 
 @dataclass

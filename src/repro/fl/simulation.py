@@ -116,6 +116,11 @@ class FederatedSimulation:
         ]
         template = self.clients[0].model.get_store()
         self._layout = template.layout
+        if np.dtype(config.dtype) != self._layout.dtype:
+            raise ValueError(
+                f"FLConfig.dtype={config.dtype!r} but the model factory "
+                f"builds {self._layout.dtype.name} models; pass the "
+                f"config dtype through to build_model")
         self.server = FLServer(
             initial_weights=template,
             config=config,

@@ -16,7 +16,8 @@ from repro.nn.model import Model
 
 def build_audio_m5(input_shape: tuple[int, int], num_classes: int,
                    rng: np.random.Generator, *,
-                   widths: tuple[int, ...] = (8, 16)) -> Model:
+                   widths: tuple[int, ...] = (8, 16),
+                   dtype: np.dtype | str = np.float64) -> Model:
     """Deep 1-D conv net over raw waveforms.
 
     Parameters
@@ -27,7 +28,7 @@ def build_audio_m5(input_shape: tuple[int, int], num_classes: int,
     """
     in_c, length = input_shape
     layers: list[Layer] = [
-        Conv1d(in_c, widths[0], 9, rng, stride=4, padding=4),
+        Conv1d(in_c, widths[0], 9, rng, stride=4, padding=4, dtype=dtype),
         ReLU(),
         MaxPool1d(4),
     ]
@@ -35,7 +36,7 @@ def build_audio_m5(input_shape: tuple[int, int], num_classes: int,
     prev = widths[0]
     for width in widths[1:]:
         layers.extend([
-            Conv1d(prev, width, 3, rng, padding=1),
+            Conv1d(prev, width, 3, rng, padding=1, dtype=dtype),
             ReLU(),
             MaxPool1d(4),
         ])
@@ -46,6 +47,6 @@ def build_audio_m5(input_shape: tuple[int, int], num_classes: int,
                          f"{len(widths)} pooling stages")
     layers.extend([
         Flatten(),
-        Dense(prev * current_len, num_classes, rng),
+        Dense(prev * current_len, num_classes, rng, dtype=dtype),
     ])
     return Model(layers, rng=rng, name=f"audio_m{2*len(widths)+1}")

@@ -26,7 +26,8 @@ DEFAULT_HIDDEN: tuple[int, ...] = (256, 128, 128, 64, 64, 64)
 
 
 def build_fcnn(input_dim: int, num_classes: int, rng: np.random.Generator, *,
-               hidden: Sequence[int] = DEFAULT_HIDDEN) -> Model:
+               hidden: Sequence[int] = DEFAULT_HIDDEN,
+               dtype: np.dtype | str = np.float64) -> Model:
     """Build the 6-hidden-layer Tanh FCNN plus a classification layer.
 
     The resulting model has ``len(hidden) + 1`` trainable layers; the
@@ -38,8 +39,8 @@ def build_fcnn(input_dim: int, num_classes: int, rng: np.random.Generator, *,
     layers = []
     prev = input_dim
     for width in hidden:
-        layers.append(Dense(prev, width, rng, scheme="xavier"))
+        layers.append(Dense(prev, width, rng, scheme="xavier", dtype=dtype))
         layers.append(Tanh())
         prev = width
-    layers.append(Dense(prev, num_classes, rng, scheme="xavier"))
+    layers.append(Dense(prev, num_classes, rng, scheme="xavier", dtype=dtype))
     return Model(layers, rng=rng, name=f"fcnn{len(hidden)}")

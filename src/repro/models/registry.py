@@ -12,12 +12,13 @@ from repro.models.resnet import build_resnet_small
 from repro.models.vgg import build_vgg_small
 from repro.nn.model import Model
 
-#: Signature of a model factory: (input_shape, num_classes, rng) -> Model.
-ModelBuilder = Callable[[tuple, int, np.random.Generator], Model]
+#: Signature of a model factory:
+#: (input_shape, num_classes, rng, *, dtype=...) -> Model.
+ModelBuilder = Callable[..., Model]
 
 _REGISTRY: dict[str, ModelBuilder] = {
-    "fcnn": lambda shape, classes, rng: build_fcnn(
-        int(np.prod(shape)), classes, rng),
+    "fcnn": lambda shape, classes, rng, **kw: build_fcnn(
+        int(np.prod(shape)), classes, rng, **kw),
     "resnet": build_resnet_small,
     "vgg": build_vgg_small,
     "audio": build_audio_m5,
@@ -30,11 +31,16 @@ def available_models() -> list[str]:
 
 
 def build_model(name: str, input_shape: tuple, num_classes: int,
-                rng: np.random.Generator) -> Model:
-    """Build a model family by name for the given input shape."""
+                rng: np.random.Generator, *,
+                dtype: np.dtype | str = np.float64) -> Model:
+    """Build a model family by name for the given input shape.
+
+    ``dtype`` fixes the precision every parameter, buffer and flat plane
+    of the model is allocated in (float64 default, float32 optional).
+    """
     try:
         builder = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown model {name!r}; known: {available_models()}") from None
-    return builder(input_shape, num_classes, rng)
+    return builder(input_shape, num_classes, rng, dtype=np.dtype(dtype))

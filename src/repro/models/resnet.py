@@ -22,11 +22,14 @@ class ResidualBlock(Layer):
     FL aggregation and DINAR obfuscation all see one flat dict.
     """
 
-    def __init__(self, channels: int, rng: np.random.Generator) -> None:
+    def __init__(self, channels: int, rng: np.random.Generator, *,
+                 dtype: np.dtype | str = np.float64) -> None:
         super().__init__()
         self.channels = channels
-        self.conv1 = Conv2d(channels, channels, 3, rng, padding=1)
-        self.conv2 = Conv2d(channels, channels, 3, rng, padding=1)
+        self.conv1 = Conv2d(channels, channels, 3, rng, padding=1,
+                            dtype=dtype)
+        self.conv2 = Conv2d(channels, channels, 3, rng, padding=1,
+                            dtype=dtype)
         self.relu_inner = ReLU()
         self.relu_out = ReLU()
 
@@ -95,7 +98,8 @@ class ResidualBlock(Layer):
 
 def build_resnet_small(input_shape: tuple[int, int, int], num_classes: int,
                        rng: np.random.Generator, *, channels: int = 8,
-                       num_blocks: int = 2) -> Model:
+                       num_blocks: int = 2,
+                       dtype: np.dtype | str = np.float64) -> Model:
     """Small residual conv net: stem conv, residual blocks, pool, classifier.
 
     Parameters
@@ -109,15 +113,16 @@ def build_resnet_small(input_shape: tuple[int, int, int], num_classes: int,
     """
     in_c, h, w = input_shape
     layers: list[Layer] = [
-        Conv2d(in_c, channels, 3, rng, padding=1),
+        Conv2d(in_c, channels, 3, rng, padding=1, dtype=dtype),
         ReLU(),
     ]
     for _ in range(num_blocks):
-        layers.append(ResidualBlock(channels, rng))
+        layers.append(ResidualBlock(channels, rng, dtype=dtype))
     pool = 2
     layers.extend([
         AvgPool2d(pool),
         Flatten(),
-        Dense(channels * (h // pool) * (w // pool), num_classes, rng),
+        Dense(channels * (h // pool) * (w // pool), num_classes, rng,
+              dtype=dtype),
     ])
     return Model(layers, rng=rng, name=f"resnet{num_blocks}x{channels}")

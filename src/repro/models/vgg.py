@@ -16,7 +16,8 @@ from repro.nn.model import Model
 def build_vgg_small(input_shape: tuple[int, int, int], num_classes: int,
                     rng: np.random.Generator, *,
                     widths: tuple[int, ...] = (8, 16),
-                    dense_width: int = 64) -> Model:
+                    dense_width: int = 64,
+                    dtype: np.dtype | str = np.float64) -> Model:
     """Small VGG: ``widths`` conv-pool groups, then two dense layers.
 
     Each group is ``Conv3x3 -> ReLU -> MaxPool2``, so input height/width
@@ -31,15 +32,16 @@ def build_vgg_small(input_shape: tuple[int, int, int], num_classes: int,
     prev = in_c
     for width in widths:
         layers.extend([
-            Conv2d(prev, width, 3, rng, padding=1),
+            Conv2d(prev, width, 3, rng, padding=1, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
         ])
         prev = width
     layers.extend([
         Flatten(),
-        Dense(prev * (h // factor) * (w // factor), dense_width, rng),
+        Dense(prev * (h // factor) * (w // factor), dense_width, rng,
+              dtype=dtype),
         ReLU(),
-        Dense(dense_width, num_classes, rng),
+        Dense(dense_width, num_classes, rng, dtype=dtype),
     ])
     return Model(layers, rng=rng, name=f"vgg{len(widths)+2}")

@@ -1,0 +1,67 @@
+"""Precision policy of the compute plane.
+
+The whole substrate computes in one configurable floating dtype —
+``float64`` (the bitwise reproduction default) or ``float32`` (half the
+memory traffic and upload bytes).  Two rules keep that honest:
+
+* **The float64 path is untouchable.**  Every dtype-gated helper below
+  executes the *exact* legacy NumPy call when the requested dtype is
+  float64 — same arguments, same generator-stream consumption — so the
+  golden trajectory pins stay bitwise intact.  Only the float32 branch
+  takes a different route (native single-precision draws, which consume
+  a different, but still fully seeded, portion of the bit stream).
+* **No silent upcasts.**  Under NEP 50, Python-float scalars are weak
+  (``float32_array * 0.5`` stays float32) but ``np.float64`` scalars
+  are strong; code on the compute plane uses Python scalars for
+  constants and these helpers for allocations and draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Dtype names the compute plane accepts (``FLConfig.dtype`` / CLI
+#: ``--dtype`` values).
+SUPPORTED_DTYPES = ("float32", "float64")
+
+#: Like numpy dtype arguments: a name, a type object, or a dtype.
+DTypeLike = str | type | np.dtype
+
+
+def resolve_dtype(dtype: DTypeLike | None) -> np.dtype:
+    """Normalize a dtype spec; ``None`` means the float64 default."""
+    resolved = np.dtype(np.float64 if dtype is None else dtype)
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {resolved.name!r}; "
+            f"supported: {', '.join(SUPPORTED_DTYPES)}")
+    return resolved
+
+
+def standard_normal(rng: np.random.Generator, shape,
+                    dtype: DTypeLike) -> np.ndarray:
+    """``rng.standard_normal`` in the requested precision.
+
+    float64 issues the exact legacy call (bitwise-pinned stream);
+    float32 draws natively in single precision.
+    """
+    dtype = np.dtype(dtype)
+    if dtype == np.float64:
+        return rng.standard_normal(shape)
+    return rng.standard_normal(shape, dtype=dtype)
+
+
+def gaussian(rng: np.random.Generator, sigma: float, size: int,
+             dtype: DTypeLike) -> np.ndarray:
+    """Centered Gaussian noise ``N(0, sigma^2)`` in the requested precision.
+
+    float64 issues the exact legacy ``rng.normal(0.0, sigma, size)``
+    call (bitwise-pinned stream); float32 scales a native
+    single-precision standard-normal draw.
+    """
+    dtype = np.dtype(dtype)
+    if dtype == np.float64:
+        return rng.normal(0.0, sigma, size=size)
+    out = rng.standard_normal(size, dtype=dtype)
+    out *= sigma
+    return out

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import init as init_schemes
+from repro.nn.dtypes import DTypeLike
 
 
 class Layer:
@@ -148,25 +149,33 @@ class Dense(Layer):
     """Fully-connected layer: ``y = x @ W + b``."""
 
     def __init__(self, in_features: int, out_features: int,
-                 rng: np.random.Generator, *, scheme: str = "he") -> None:
+                 rng: np.random.Generator, *, scheme: str = "he",
+                 dtype: DTypeLike = np.float64) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.params["W"] = init_schemes.initialize(
-            rng, (in_features, out_features), in_features, out_features, scheme)
-        self.params["b"] = np.zeros(out_features)
+            rng, (in_features, out_features), in_features, out_features,
+            scheme, dtype=dtype)
+        self.params["b"] = np.zeros(out_features, dtype=dtype)
 
     @property
     def name(self) -> str:
         return f"Dense({self.in_features}x{self.out_features})"
 
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
-        self._x = x
+        # backward never runs after an eval-mode forward; caching there
+        # would only pin the last inference batch in memory.
+        self._x = x if training else None
         return x @ self.params["W"] + self.params["b"]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        np.matmul(self._x.T, grad, out=self._grad_out("W"))
-        grad.sum(axis=0, out=self._grad_out("b"))
+        # after an eval-mode forward there is no cached input, so only
+        # the input gradient is produced (all that e.g. the inversion
+        # attack needs); weight gradients require a training forward.
+        if self._x is not None:
+            np.matmul(self._x.T, grad, out=self._grad_out("W"))
+            grad.sum(axis=0, out=self._grad_out("b"))
         out = grad @ self.params["W"].T
         self._x = None
         return out
@@ -197,7 +206,7 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int,
     n, c, h, w = x_shape
     out_h = (h + 2 * pad - kh) // stride + 1
     out_w = (w + 2 * pad - kw) // stride + 1
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
     patches = cols.reshape(n, out_h, out_w, c, kh, kw)
     for i in range(kh):
         for j in range(kw):
@@ -214,7 +223,7 @@ class Conv2d(Layer):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  rng: np.random.Generator, *, stride: int = 1, padding: int = 0,
-                 scheme: str = "he") -> None:
+                 scheme: str = "he", dtype: DTypeLike = np.float64) -> None:
         super().__init__()
         self.in_channels = in_channels
         self.out_channels = out_channels
@@ -225,8 +234,8 @@ class Conv2d(Layer):
         fan_out = out_channels * kernel_size * kernel_size
         self.params["W"] = init_schemes.initialize(
             rng, (out_channels, in_channels, kernel_size, kernel_size),
-            fan_in, fan_out, scheme)
-        self.params["b"] = np.zeros(out_channels)
+            fan_in, fan_out, scheme, dtype=dtype)
+        self.params["b"] = np.zeros(out_channels, dtype=dtype)
 
     @property
     def name(self) -> str:
@@ -236,7 +245,7 @@ class Conv2d(Layer):
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         k, s, p = self.kernel_size, self.stride, self.padding
         cols, out_h, out_w = _im2col(x, k, k, s, p)
-        self._cols = cols
+        self._cols = cols if training else None
         self._x_shape = x.shape
         w_flat = self.params["W"].reshape(self.out_channels, -1)
         out = cols @ w_flat.T + self.params["b"]
@@ -246,11 +255,14 @@ class Conv2d(Layer):
         k, s, p = self.kernel_size, self.stride, self.padding
         n, _, out_h, out_w = grad.shape
         grad_flat = grad.transpose(0, 2, 3, 1)
-        cols2d = self._cols.reshape(-1, self._cols.shape[-1])
-        grad2d = grad_flat.reshape(-1, self.out_channels)
-        np.matmul(grad2d.T, cols2d,
-                  out=self._grad_out("W").reshape(self.out_channels, -1))
-        grad2d.sum(axis=0, out=self._grad_out("b"))
+        # no cached patches after an eval-mode forward: produce the
+        # input gradient only (weight grads need a training forward).
+        if self._cols is not None:
+            cols2d = self._cols.reshape(-1, self._cols.shape[-1])
+            grad2d = grad_flat.reshape(-1, self.out_channels)
+            np.matmul(grad2d.T, cols2d,
+                      out=self._grad_out("W").reshape(self.out_channels, -1))
+            grad2d.sum(axis=0, out=self._grad_out("b"))
         w_flat = self.params["W"].reshape(self.out_channels, -1)
         dcols = grad_flat @ w_flat
         out = _col2im(dcols, self._x_shape, k, k, s, p)
@@ -263,7 +275,7 @@ class Conv1d(Layer):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  rng: np.random.Generator, *, stride: int = 1, padding: int = 0,
-                 scheme: str = "he") -> None:
+                 scheme: str = "he", dtype: DTypeLike = np.float64) -> None:
         super().__init__()
         self.in_channels = in_channels
         self.out_channels = out_channels
@@ -273,8 +285,8 @@ class Conv1d(Layer):
         fan_in = in_channels * kernel_size
         self.params["W"] = init_schemes.initialize(
             rng, (out_channels, in_channels, kernel_size), fan_in,
-            out_channels * kernel_size, scheme)
-        self.params["b"] = np.zeros(out_channels)
+            out_channels * kernel_size, scheme, dtype=dtype)
+        self.params["b"] = np.zeros(out_channels, dtype=dtype)
 
     @property
     def name(self) -> str:
@@ -287,7 +299,7 @@ class Conv1d(Layer):
         if p:
             x4 = np.pad(x4, ((0, 0), (0, 0), (0, 0), (p, p)))
         cols, _, _ = _im2col(x4, 1, k, s, 0)
-        self._cols = cols
+        self._cols = cols if training else None
         self._x4_shape = x4.shape
         self._pad = p
         w_flat = self.params["W"].reshape(self.out_channels, -1)
@@ -297,11 +309,14 @@ class Conv1d(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         k, s = self.kernel_size, self.stride
         grad4 = grad.transpose(0, 2, 1)[:, None, :, :]  # (n,1,out_l,C_out)
-        cols2d = self._cols.reshape(-1, self._cols.shape[-1])
-        grad2d = grad4.reshape(-1, self.out_channels)
-        np.matmul(grad2d.T, cols2d,
-                  out=self._grad_out("W").reshape(self.out_channels, -1))
-        grad2d.sum(axis=0, out=self._grad_out("b"))
+        # no cached patches after an eval-mode forward: produce the
+        # input gradient only (weight grads need a training forward).
+        if self._cols is not None:
+            cols2d = self._cols.reshape(-1, self._cols.shape[-1])
+            grad2d = grad4.reshape(-1, self.out_channels)
+            np.matmul(grad2d.T, cols2d,
+                      out=self._grad_out("W").reshape(self.out_channels, -1))
+            grad2d.sum(axis=0, out=self._grad_out("b"))
         w_flat = self.params["W"].reshape(self.out_channels, -1)
         dcols = grad4 @ w_flat
         dx4 = _col2im(dcols, self._x4_shape, 1, k, s, 0)
@@ -334,7 +349,7 @@ class MaxPool2d(Layer):
         n, c, h, w = self._x_shape
         k = self.kernel_size
         expanded = grad[:, :, :, None, :, None] * self._mask
-        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        counts = self._mask.sum(axis=(3, 5), keepdims=True, dtype=grad.dtype)
         expanded = expanded / counts  # split ties evenly to keep grads exact
         self._mask = None
         return expanded.reshape(n, c, h, w)
@@ -386,7 +401,7 @@ class MaxPool1d(Layer):
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        counts = self._mask.sum(axis=3, keepdims=True)
+        counts = self._mask.sum(axis=3, keepdims=True, dtype=grad.dtype)
         expanded = grad[:, :, :, None] * self._mask / counts
         self._mask = None
         return expanded.reshape(self._x_shape)
@@ -423,7 +438,10 @@ class Dropout(Layer):
         if self._rng is None:
             raise RuntimeError("Dropout used without an attached rng")
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # the keep/drop draw stays float64 for every compute dtype so the
+        # generator stream matches the pinned trajectories; only the mask
+        # itself adopts the input precision.
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -438,15 +456,16 @@ class BatchNorm1d(Layer):
     """Batch normalization over feature vectors (N, F)."""
 
     def __init__(self, num_features: int, *, momentum: float = 0.1,
-                 eps: float = 1e-5) -> None:
+                 eps: float = 1e-5,
+                 dtype: DTypeLike = np.float64) -> None:
         super().__init__()
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.params["gamma"] = np.ones(num_features)
-        self.params["beta"] = np.zeros(num_features)
-        self.buffers["running_mean"] = np.zeros(num_features)
-        self.buffers["running_var"] = np.ones(num_features)
+        self.params["gamma"] = np.ones(num_features, dtype=dtype)
+        self.params["beta"] = np.zeros(num_features, dtype=dtype)
+        self.buffers["running_mean"] = np.zeros(num_features, dtype=dtype)
+        self.buffers["running_var"] = np.ones(num_features, dtype=dtype)
 
     @property
     def name(self) -> str:

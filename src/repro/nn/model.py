@@ -47,12 +47,13 @@ class Model:
     def _bind_flat(self) -> None:
         """Move every parameter onto the flat plane (construction-time).
 
-        Allocates the weight store and the parallel gradient buffer,
-        then rebinds each trainable layer's params/buffers/grads to
-        zero-copy views into them.  Gradient coordinates of
-        non-trainable buffers (batch-norm running stats) are never
-        written and stay exactly 0.0 — whole-buffer optimizer updates
-        are bitwise no-ops there.
+        Allocates the weight store and the parallel gradient buffer —
+        both in the layers' common parameter dtype (``Layout.from_model``
+        rejects mixed precisions) — then rebinds each trainable layer's
+        params/buffers/grads to zero-copy views into them.  Gradient
+        coordinates of non-trainable buffers (batch-norm running stats)
+        are never written and stay exactly 0.0 — whole-buffer optimizer
+        updates are bitwise no-ops there.
         """
         trainable = self.trainable
         if not trainable:
@@ -62,8 +63,9 @@ class Model:
             self._grads_ready = False
             return
         layout = Layout.from_model(self)
-        store = WeightStore(layout, np.empty(layout.num_params))
-        grad_buffer = np.zeros(layout.num_params)
+        store = WeightStore(layout, np.empty(layout.num_params,
+                                             dtype=layout.dtype))
+        grad_buffer = np.zeros(layout.num_params, dtype=layout.dtype)
         for idx, layer in enumerate(trainable):
             params: dict[str, np.ndarray] = {}
             buffers: dict[str, np.ndarray] = {}
@@ -96,6 +98,13 @@ class Model:
     def trainable(self) -> list[Layer]:
         """Parameter-carrying layers, the granularity of DINAR's index p."""
         return [layer for layer in self.layers if layer.has_params]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Precision of the flat compute plane (float64 if paramless)."""
+        if self._layout is None:
+            return np.dtype(np.float64)
+        return self._layout.dtype
 
     @property
     def num_trainable_layers(self) -> int:
@@ -157,12 +166,22 @@ class Model:
     # ------------------------------------------------------------------
     def predict_logits(self, x: np.ndarray, *,
                        batch_size: int = 256) -> np.ndarray:
-        """Logits in evaluation mode, batched to bound memory."""
-        outputs = [
-            self.forward(x[i:i + batch_size], training=False)
-            for i in range(0, len(x), batch_size)
-        ]
-        return np.concatenate(outputs, axis=0)
+        """Logits in evaluation mode, batched to bound memory.
+
+        The first batch fixes the per-sample output shape and dtype;
+        the full result is preallocated once and later batches write
+        straight into it (no per-batch list + concatenate churn).
+        """
+        first = self.forward(x[:batch_size], training=False)
+        n = len(x)
+        if n <= batch_size:
+            return first
+        out = np.empty((n,) + first.shape[1:], dtype=first.dtype)
+        out[:batch_size] = first
+        for i in range(batch_size, n, batch_size):
+            out[i:i + batch_size] = self.forward(
+                x[i:i + batch_size], training=False)
+        return out
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities in evaluation mode."""

@@ -68,10 +68,14 @@ class Optimizer:
         raise NotImplementedError
 
     def _slot(self, name: str) -> np.ndarray:
-        """A named flat state vector, zero-initialized on first use."""
+        """A named flat state vector, zero-initialized on first use.
+
+        Allocated in the weight buffer's dtype so optimizer state never
+        drags a float32 plane back up to double precision.
+        """
         buf = self.state.get(name)
         if buf is None:
-            buf = np.zeros(self.model.weights.buffer.size)
+            buf = np.zeros_like(self.model.weights.buffer)
             self.state[name] = buf
         return buf
 

@@ -4,6 +4,11 @@ Weights round-trip through ``.npz`` archives (one array per
 ``layer<idx>/<name>`` key), which lets a deployment checkpoint global
 models between rounds, ship shadow models to an attacker process, or
 archive the exact model a benchmark attacked.
+
+Precision round-trips for free: ``.npz`` stores each array's dtype,
+and :meth:`~repro.nn.store.WeightStore.from_layers` infers the flat
+plane's dtype from the loaded arrays (float32 only when *every* array
+is float32), so a float32 store reloads as a float32 store.
 """
 
 from __future__ import annotations

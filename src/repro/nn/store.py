@@ -4,9 +4,13 @@ Every subsystem exchanges model state.  The legacy representation —
 ``Weights = list[dict[str, np.ndarray]]`` — forces each consumer
 (FedAvg, the defenses, DINAR, traffic accounting, serialization) to
 re-walk a nested structure in Python loops.  This module provides the
-store-native alternative: one contiguous float64 vector per model plus
-an immutable :class:`Layout` mapping each ``(layer, key)`` pair to a
-coordinate range.
+store-native alternative: one contiguous vector per model plus an
+immutable :class:`Layout` mapping each ``(layer, key)`` pair to a
+coordinate range.  The layout also fixes the buffer's *precision*
+(float64 by default, float32 for the reduced-precision compute plane —
+see ``repro.nn.dtypes``); two layouts with the same geometry but
+different dtypes are distinct, so stores of different precisions never
+silently mix.
 
 Design rules:
 
@@ -32,6 +36,8 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.nn.dtypes import DTypeLike, resolve_dtype
 
 #: The legacy nested structure (same alias as :data:`repro.nn.model.Weights`,
 #: redeclared here so the store does not import the model module).
@@ -69,12 +75,13 @@ class Layout:
     DINAR's "layer p" — are single buffer slices).
     """
 
-    __slots__ = ("entries", "num_params", "num_layers",
+    __slots__ = ("entries", "num_params", "num_layers", "dtype",
                  "_by_key", "_layer_slices", "_hash",
                  "_param_entry_slices", "_param_segments",
                  "_layer_param_slices", "num_trainable")
 
-    def __init__(self, entries: Sequence[LayoutEntry]) -> None:
+    def __init__(self, entries: Sequence[LayoutEntry], *,
+                 dtype: DTypeLike = np.float64) -> None:
         entries = tuple(entries)
         if not entries:
             raise ValueError("a layout needs at least one entry")
@@ -102,13 +109,14 @@ class Layout:
         self.entries = entries
         self.num_params = offset
         self.num_layers = layer_idx + 1
+        self.dtype = resolve_dtype(dtype)
         self._by_key = {(e.layer_idx, e.key): e for e in entries}
         if len(self._by_key) != len(entries):
             raise ValueError("duplicate (layer, key) pair in layout")
         self._layer_slices = tuple(
             slice(starts[i], starts[i + 1])
             for i in range(self.num_layers))
-        self._hash = hash(self.entries)
+        self._hash = hash((self.entries, self.dtype))
         self._index_trainable()
 
     def _index_trainable(self) -> None:
@@ -155,38 +163,55 @@ class Layout:
     # ------------------------------------------------------------------
     @classmethod
     def from_layers(cls, weights: Weights) -> "Layout":
-        """Derive a layout from a legacy nested structure."""
+        """Derive a layout from a legacy nested structure.
+
+        The dtype is inferred: float32 when *every* array is float32,
+        the float64 default otherwise (mixed or non-float inputs keep
+        the legacy coerce-to-float64 behaviour).
+        """
         entries: list[LayoutEntry] = []
         offset = 0
+        all_f32 = True
         for layer_idx, layer in enumerate(weights):
             for key, value in layer.items():
                 value = np.asarray(value)
+                all_f32 = all_f32 and value.dtype == np.float32
                 entries.append(LayoutEntry(
                     layer_idx=layer_idx, key=key,
                     shape=tuple(value.shape), offset=offset,
                     size=int(value.size)))
                 offset += int(value.size)
-        return cls(entries)
+        dtype = np.float32 if entries and all_f32 else np.float64
+        return cls(entries, dtype=dtype)
 
     @classmethod
     def from_model(cls, model) -> "Layout":
         """Derive a layout from a model's trainable layers (no copies).
 
         Keys follow ``Layer.state()`` order: ``params`` before
-        ``buffers``, each in insertion order.
+        ``buffers``, each in insertion order.  The dtype is the layers'
+        common parameter dtype; a model mixing precisions is rejected —
+        the flat plane is single-precision by construction.
         """
         entries: list[LayoutEntry] = []
         offset = 0
+        dtypes: set[np.dtype] = set()
         for layer_idx, layer in enumerate(model.trainable):
             arrays = [(k, v, True) for k, v in layer.params.items()] \
                 + [(k, v, False) for k, v in layer.buffers.items()]
             for key, value, trainable in arrays:
+                dtypes.add(np.asarray(value).dtype)
                 entries.append(LayoutEntry(
                     layer_idx=layer_idx, key=key,
                     shape=tuple(value.shape), offset=offset,
                     size=int(value.size), trainable=trainable))
                 offset += int(value.size)
-        return cls(entries)
+        if len(dtypes) > 1:
+            raise ValueError(
+                f"model mixes parameter dtypes "
+                f"{sorted(d.name for d in dtypes)}; the flat plane "
+                f"needs one uniform precision")
+        return cls(entries, dtype=dtypes.pop() if dtypes else np.float64)
 
     # ------------------------------------------------------------------
     # lookup
@@ -246,8 +271,14 @@ class Layout:
 
     @property
     def nbytes(self) -> int:
-        """Dense float64 wire size of a store with this layout."""
-        return self.num_params * 8
+        """Dense wire size of a store with this layout (dtype-aware)."""
+        return self.num_params * self.dtype.itemsize
+
+    def with_dtype(self, dtype: DTypeLike) -> "Layout":
+        """Same geometry in another precision (self when unchanged)."""
+        if resolve_dtype(dtype) == self.dtype:
+            return self
+        return Layout(self.entries, dtype=dtype)
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -255,18 +286,22 @@ class Layout:
             return True
         if not isinstance(other, Layout):
             return NotImplemented
-        return self.entries == other.entries
+        return self.dtype == other.dtype and self.entries == other.entries
 
     def __hash__(self) -> int:
         return self._hash
 
     def __repr__(self) -> str:
         return (f"Layout(layers={self.num_layers}, "
-                f"arrays={len(self.entries)}, params={self.num_params})")
+                f"arrays={len(self.entries)}, params={self.num_params}, "
+                f"dtype={self.dtype.name})")
 
 
 class WeightStore:
-    """One model's weights as a contiguous float64 vector + layout.
+    """One model's weights as a contiguous vector + layout.
+
+    The buffer lives in the layout's dtype (float64 unless the layout
+    says otherwise); incoming buffers of another precision are coerced.
 
     Supports zero-copy per-layer/per-key views, vectorized arithmetic
     (``+``, ``-``, scalar ``*``, in-place variants), and the read side
@@ -280,14 +315,14 @@ class WeightStore:
     def __init__(self, layout: Layout,
                  buffer: np.ndarray | None = None) -> None:
         if buffer is None:
-            buffer = np.zeros(layout.num_params)
+            buffer = np.zeros(layout.num_params, dtype=layout.dtype)
         buffer = np.asarray(buffer)
         if buffer.ndim != 1 or buffer.size != layout.num_params:
             raise ValueError(
                 f"buffer shape {buffer.shape} does not match layout "
                 f"with {layout.num_params} params")
-        if buffer.dtype != np.float64:
-            buffer = buffer.astype(np.float64)
+        if buffer.dtype != layout.dtype:
+            buffer = buffer.astype(layout.dtype)
         self.layout = layout
         self.buffer = buffer
 
@@ -304,7 +339,8 @@ class WeightStore:
             raise ValueError(
                 f"got {len(weights)} layer dicts, layout has "
                 f"{layout.num_layers} layers")
-        store = cls(layout, np.empty(layout.num_params))
+        store = cls(layout, np.empty(layout.num_params,
+                                     dtype=layout.dtype))
         buf = store.buffer
         counts = [0] * layout.num_layers
         for entry in layout.entries:
@@ -462,7 +498,16 @@ class WeightStore:
 
     def zeros_like(self) -> "WeightStore":
         """Zero-filled store with the same layout."""
-        return WeightStore(self.layout, np.zeros(self.layout.num_params))
+        return WeightStore(self.layout,
+                           np.zeros(self.layout.num_params,
+                                    dtype=self.layout.dtype))
+
+    def astype(self, dtype: DTypeLike) -> "WeightStore":
+        """Copy of this store in another precision (same geometry)."""
+        layout = self.layout.with_dtype(dtype)
+        if layout is self.layout:
+            return self.copy()
+        return WeightStore(layout, self.buffer.astype(layout.dtype))
 
     @property
     def num_params(self) -> int:
@@ -470,12 +515,13 @@ class WeightStore:
 
     @property
     def nbytes(self) -> int:
-        """Dense float64 wire size (= ``buffer.nbytes``)."""
+        """Dense wire size in the store's dtype (= ``buffer.nbytes``)."""
         return self.buffer.nbytes
 
     def __repr__(self) -> str:
         return (f"WeightStore(layers={self.layout.num_layers}, "
-                f"params={self.num_params})")
+                f"params={self.num_params}, "
+                f"dtype={self.layout.dtype.name})")
 
 
 #: Either representation of exchanged model state.
@@ -505,8 +551,14 @@ def chunked_sq_sum(vector: np.ndarray,
     left fold over per-chunk sums *is* — pass
     :attr:`Layout.param_entry_slices` (one slice per legacy array) to
     reproduce dict-plane gradient norms exactly.
+
+    The accumulator is always float64: squares are computed in the
+    vector's own dtype, but each chunk reduction and the fold run in
+    double precision (a no-op for float64 input, and the numerically
+    sane choice for float32 buffers, whose clip norms would otherwise
+    degrade with parameter count).
     """
     total = 0.0
     for chunk in chunks:
-        total += float((vector[chunk] ** 2).sum())
+        total += float((vector[chunk] ** 2).sum(dtype=np.float64))
     return total

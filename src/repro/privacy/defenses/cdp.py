@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from repro.nn.dtypes import gaussian
 from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.accounting import PrivacyAccountant
 from repro.privacy.defenses.base import Defense
@@ -74,7 +75,8 @@ class CentralDP(Defense):
         aggregated = as_store(weights, layout=self._round_global.layout)
         noisy = aggregated - self._round_global
         sigma = self.noise_multiplier * self.clip_norm / self.num_clients
-        noisy.buffer += rng.normal(0.0, sigma, size=noisy.num_params)
+        noisy.buffer += gaussian(rng, sigma, noisy.num_params,
+                                 noisy.buffer.dtype)
         self.accountant.spend(
             self.epsilon / math.sqrt(self.rounds), self.delta)
         self._noise_buffer_bytes = noisy.nbytes

@@ -14,6 +14,7 @@ import math
 
 import numpy as np
 
+from repro.nn.dtypes import gaussian
 from repro.nn.model import Model
 from repro.nn.optim import Optimizer
 from repro.nn.store import chunked_sq_sum
@@ -88,8 +89,9 @@ class DPSGD(Optimizer):
         update = grads * scale
         if noise_std > 0:
             for segment in layout.param_segments:
-                update[segment] += self.rng.normal(
-                    0.0, noise_std, size=segment.stop - segment.start)
+                update[segment] += gaussian(
+                    self.rng, noise_std, segment.stop - segment.start,
+                    update.dtype)
         params -= self.lr * update
 
     def _update_flat(self, params, grads) -> None:  # pragma: no cover

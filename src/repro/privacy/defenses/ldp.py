@@ -90,8 +90,10 @@ class LocalDP(Defense):
                        rng: np.random.Generator | None = None) -> Optimizer:
         self._optimizers += 1
         # Per-parameter noise buffers live alongside the model, which is
-        # what drives the paper's DP memory overhead.
-        self._state_bytes = 2 * model.num_parameters() * 8
+        # what drives the paper's DP memory overhead — scaled by the
+        # model's compute precision.
+        self._state_bytes = (2 * model.num_parameters()
+                             * model.dtype.itemsize)
         if rng is None:
             # Legacy standalone path: a fresh counter-derived stream.
             # FL rounds pass the client's (round, client) stream instead

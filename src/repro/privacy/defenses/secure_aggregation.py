@@ -24,6 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.nn.dtypes import standard_normal
 from repro.nn.store import Layout, WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 
@@ -53,15 +54,16 @@ class SecureAggregation(Defense):
         """
         self._layout = as_store(template).layout
         num_params = self._layout.num_params
+        dtype = self._layout.dtype
         self._masks = {
-            cid: np.zeros(num_params) for cid in client_ids
+            cid: np.zeros(num_params, dtype=dtype) for cid in client_ids
         }
         ids = sorted(client_ids)
         for pos, i in enumerate(ids):
             for j in ids[pos + 1:]:
                 pair_rng = np.random.default_rng(
                     (int(round_index), int(i), int(j)))
-                pair_mask = pair_rng.standard_normal(num_params)
+                pair_mask = standard_normal(pair_rng, num_params, dtype)
                 pair_mask *= self.mask_scale
                 self._masks[i] += pair_mask
                 self._masks[j] -= pair_mask

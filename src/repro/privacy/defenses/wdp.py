@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import gaussian
 from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
 from repro.privacy.defenses.ldp import clip_store
@@ -52,8 +53,8 @@ class WeakDP(Defense):
         update = as_store(weights, layout=self._round_global.layout)
         delta = update - self._round_global
         bounded = clip_store(delta, self.norm_bound)
-        bounded.buffer += rng.normal(0.0, self.sigma,
-                                     size=bounded.num_params)
+        bounded.buffer += gaussian(rng, self.sigma, bounded.num_params,
+                                   bounded.buffer.dtype)
         self._noise_buffer_bytes = bounded.nbytes
         return self._round_global + bounded
 
