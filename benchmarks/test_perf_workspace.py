@@ -1,0 +1,285 @@
+"""Train-step wall-clock and allocation churn: workspace arena vs the
+pre-workspace allocating path.
+
+Times the conv train step — forward + backward + SGD step on the
+VGG-style model at float64 — once through the arena-backed execution
+path and once through the pre-PR implementation, reproduced verbatim
+below over the same live weights (the same convention
+``test_perf_train.py`` uses for the legacy optimizer).  Verifies the
+two trajectories end bitwise identical, measures per-step allocation
+churn with the tracemalloc hook, and writes ``BENCH_workspace.json``
+at the repo root.
+
+Both paths are single-threaded NumPy doing identical arithmetic in
+identical order; the workspace wins by replacing every batch-sized
+temporary allocation with an arena buffer reuse and by keeping scratch
+layouts coherent with the conv plane's transposed outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.allocation import measure_train_step
+from repro.models.vgg import build_vgg_small
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d
+from repro.nn.activations import ReLU
+from repro.nn.losses import SoftmaxCrossEntropy, log_softmax, softmax
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_workspace.json"
+
+STEPS = 20          # train steps per timed run
+REPEATS = 3         # best-of to damp scheduler noise
+SPEEDUP_FLOOR = 1.15
+ALLOC_REDUCTION_FLOOR = 5.0
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_setup() -> tuple[Model, np.ndarray, np.ndarray]:
+    model = build_vgg_small((3, 16, 16), 43, np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((128, 3, 16, 16))
+    y = rng.integers(0, 43, 128)
+    return model, x, y
+
+
+# ----------------------------------------------------------------------
+# The pre-workspace execution path, reproduced verbatim: every forward
+# and backward below is the allocating implementation this PR replaced,
+# run against the same live parameter views so the trajectory comparison
+# is apples-to-apples.
+# ----------------------------------------------------------------------
+
+def _legacy_im2col(x, kh, kw, stride, pad):
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, -1)
+    return cols, out_h, out_w
+
+
+def _legacy_col2im(cols, x_shape, kh, kw, stride, pad):
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride,
+                   j:j + stride * out_w:stride] += \
+                patches[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def _legacy_forward(layer, x, cache):
+    if isinstance(layer, Conv2d):
+        k, s, p = layer.kernel_size, layer.stride, layer.padding
+        cols, _, _ = _legacy_im2col(x, k, k, s, p)
+        cache["cols"] = cols
+        cache["x_shape"] = x.shape
+        w_flat = layer.params["W"].reshape(layer.out_channels, -1)
+        out = cols @ w_flat.T + layer.params["b"]
+        return out.transpose(0, 3, 1, 2)
+    if isinstance(layer, ReLU):
+        mask = x > 0
+        cache["mask"] = mask
+        return x * mask
+    if isinstance(layer, MaxPool2d):
+        n, c, h, w = x.shape
+        k = layer.kernel_size
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        out = blocks.max(axis=(3, 5))
+        cache["mask"] = blocks == out[:, :, :, None, :, None]
+        cache["x_shape"] = x.shape
+        return out
+    if isinstance(layer, Flatten):
+        cache["shape"] = x.shape
+        return x.reshape(x.shape[0], -1)
+    if isinstance(layer, Dense):
+        cache["x"] = x
+        return x @ layer.params["W"] + layer.params["b"]
+    raise TypeError(f"legacy path has no rule for {type(layer).__name__}")
+
+
+def _legacy_backward(layer, grad, cache):
+    if isinstance(layer, Conv2d):
+        k, s, p = layer.kernel_size, layer.stride, layer.padding
+        grad_flat = grad.transpose(0, 2, 3, 1)
+        cols = cache["cols"]
+        cols2d = cols.reshape(-1, cols.shape[-1])
+        grad2d = grad_flat.reshape(-1, layer.out_channels)
+        np.matmul(grad2d.T, cols2d,
+                  out=layer._grad_out("W").reshape(layer.out_channels, -1))
+        grad2d.sum(axis=0, out=layer._grad_out("b"))
+        w_flat = layer.params["W"].reshape(layer.out_channels, -1)
+        dcols = grad_flat @ w_flat
+        return _legacy_col2im(dcols, cache["x_shape"], k, k, s, p)
+    if isinstance(layer, ReLU):
+        return grad * cache["mask"]
+    if isinstance(layer, MaxPool2d):
+        n, c, h, w = cache["x_shape"]
+        mask = cache["mask"]
+        expanded = grad[:, :, :, None, :, None] * mask
+        counts = mask.sum(axis=(3, 5), keepdims=True, dtype=grad.dtype)
+        expanded = expanded / counts
+        return expanded.reshape(n, c, h, w)
+    if isinstance(layer, Flatten):
+        return grad.reshape(cache["shape"])
+    if isinstance(layer, Dense):
+        x = cache["x"]
+        np.matmul(x.T, grad, out=layer._grad_out("W"))
+        grad.sum(axis=0, out=layer._grad_out("b"))
+        return grad @ layer.params["W"].T
+    raise TypeError(f"legacy path has no rule for {type(layer).__name__}")
+
+
+def _legacy_loss_and_grad(model: Model, x: np.ndarray,
+                          y: np.ndarray) -> float:
+    """Pre-PR train step: allocating layers + allocating fused loss."""
+    caches = [dict() for _ in model.layers]
+    for layer, cache in zip(model.layers, caches):
+        x = _legacy_forward(layer, x, cache)
+    probs = softmax(x)
+    logp = log_softmax(x)
+    value = float(-logp[np.arange(len(y)), y].mean())
+    grad = probs.copy()
+    grad[np.arange(len(y)), y] -= 1.0
+    grad /= len(y)
+    for layer, cache in zip(reversed(model.layers), reversed(caches)):
+        grad = _legacy_backward(layer, grad, cache)
+    model._grads_ready = True
+    return value
+
+
+def _time_workspace() -> tuple[float, np.ndarray]:
+    loss = SoftmaxCrossEntropy()
+    best = float("inf")
+    for _ in range(REPEATS):
+        model, x, y = _make_setup()
+        optimizer = SGD(model, 0.01)
+        model.loss_and_grad(x, y, loss)  # warm up the arena
+        optimizer.step()
+        start = time.perf_counter()
+        for _ in range(STEPS):
+            model.loss_and_grad(x, y, loss)
+            optimizer.step()
+        best = min(best, time.perf_counter() - start)
+        final = model.weights.buffer.copy()
+    return best, final
+
+
+def _time_legacy() -> tuple[float, np.ndarray]:
+    best = float("inf")
+    for _ in range(REPEATS):
+        model, x, y = _make_setup()
+        optimizer = SGD(model, 0.01)
+        _legacy_loss_and_grad(model, x, y)
+        optimizer.step()
+        start = time.perf_counter()
+        for _ in range(STEPS):
+            _legacy_loss_and_grad(model, x, y)
+            optimizer.step()
+        best = min(best, time.perf_counter() - start)
+        final = model.weights.buffer.copy()
+    return best, final
+
+
+def _allocation_reports():
+    """Tracemalloc accounting: arena on vs. the allocating path."""
+    loss = SoftmaxCrossEntropy()
+    reports = {}
+    for mode in ("workspace", "allocating"):
+        model, x, y = _make_setup()
+        if mode == "allocating":
+            model.use_workspace(False)
+        optimizer = SGD(model, 0.01)
+        model.loss_and_grad(x, y, loss)  # warm up arena + optimizer
+        optimizer.step()
+        reports[mode] = measure_train_step(model, x, y, loss,
+                                           optimizer.step)
+    return reports
+
+
+@pytest.mark.bench
+def test_workspace_train_step_speedup():
+    ws_seconds, ws_final = _time_workspace()
+    legacy_seconds, legacy_final = _time_legacy()
+
+    # identical trajectories, bit for bit — the arena changes where
+    # results are written, never what they are
+    assert np.array_equal(ws_final, legacy_final)
+
+    reports = _allocation_reports()
+    churn = reports["allocating"]
+    arena = reports["workspace"]
+    alloc_reduction = churn.alloc_count / max(arena.alloc_count, 1)
+
+    speedup = legacy_seconds / ws_seconds
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "conv train step: workspace arena vs "
+                     "pre-workspace allocating path",
+        "steps": STEPS,
+        "repeats": REPEATS,
+        "available_cores": _available_cores(),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "workspace_seconds": round(ws_seconds, 4),
+        "speedup": round(speedup, 2),
+        "allocations_per_step": {
+            "allocating": churn.alloc_count,
+            "workspace": arena.alloc_count,
+            "reduction": round(alloc_reduction, 1),
+        },
+        "alloc_bytes_per_step": {
+            "allocating": churn.alloc_bytes,
+            "workspace": arena.alloc_bytes,
+        },
+        "peak_bytes": {
+            "allocating": churn.peak_bytes,
+            "workspace": arena.peak_bytes,
+        },
+    }, indent=2) + "\n")
+
+    print()
+    print(f"legacy {legacy_seconds:8.3f}s  workspace {ws_seconds:8.3f}s  "
+          f"speedup {speedup:5.2f}x")
+    print(f"allocs/step {churn.alloc_count} -> {arena.alloc_count} "
+          f"({alloc_reduction:.1f}x fewer), peak "
+          f"{churn.peak_bytes >> 20}MB -> {arena.peak_bytes >> 20}MB")
+
+    assert speedup >= SPEEDUP_FLOOR, \
+        f"expected >= {SPEEDUP_FLOOR}x vs pre-workspace path, " \
+        f"measured {speedup:.2f}x"
+    assert alloc_reduction >= ALLOC_REDUCTION_FLOOR, \
+        f"expected >= {ALLOC_REDUCTION_FLOOR}x fewer allocations, " \
+        f"measured {alloc_reduction:.1f}x"
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-s", "-q", "-m", "bench"])

@@ -36,6 +36,13 @@ datasets and model structure are inherited copy-on-write and are never
 pickled.  The parent's client objects stay authoritative for
 evaluation state (``personal_weights``), which the simulation writes
 back from the returned results.
+
+Workspace arenas (:class:`repro.nn.workspace.Workspace`) are strictly
+process-local: a forked worker inherits the parent model's arena
+copy-on-write and re-warms its own buffers on first use, and no arena
+ever rides in a :class:`ClientTask` or :class:`ClientRoundResult` —
+``Workspace`` refuses to pickle, so any payload that serializes at all
+is proven free of scratch state.
 """
 
 from __future__ import annotations

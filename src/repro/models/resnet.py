@@ -81,19 +81,39 @@ class ResidualBlock(Layer):
         self.conv1.adopt_views(params1, {}, grads1)
         self.conv2.adopt_views(params2, {}, grads2)
 
-    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
-        out = self.conv1.forward(x, training=training)
-        out = self.relu_inner.forward(out, training=training)
-        out = self.conv2.forward(out, training=training)
-        return self.relu_out.forward(out + x, training=training)
+    def forward(self, x: np.ndarray, *, training: bool = True,
+                workspace=None) -> np.ndarray:
+        # each sublayer requests its own arena scratch (the workspace
+        # keys on the owning object, so conv1 and conv2 never collide
+        # despite identical shapes); only the skip-sum buffer belongs
+        # to the block itself.
+        out = self.conv1.forward(x, training=training, workspace=workspace)
+        out = self.relu_inner.forward(out, training=training,
+                                      workspace=workspace)
+        out = self.conv2.forward(out, training=training,
+                                 workspace=workspace)
+        if out.shape == x.shape and out.strides == x.strides:
+            # both branches share a layout (e.g. conv-transposed): the
+            # legacy ``out + x`` result kept it, so the sum buffer must.
+            summed = self._scratch_like(workspace, "sum", out,
+                                        np.result_type(out.dtype, x.dtype))
+        else:
+            summed = self._scratch(workspace, "sum", out.shape,
+                                   np.result_type(out.dtype, x.dtype))
+        np.add(out, x, out=summed)
+        return self.relu_out.forward(summed, training=training,
+                                     workspace=workspace)
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        grad = self.relu_out.backward(grad)
+    def backward(self, grad: np.ndarray, *, workspace=None) -> np.ndarray:
+        grad = self.relu_out.backward(grad, workspace=workspace)
         skip = grad  # d(out + x)/dx through the identity branch
-        grad = self.conv2.backward(grad)
-        grad = self.relu_inner.backward(grad)
-        grad = self.conv1.backward(grad)
-        return grad + skip
+        grad = self.conv2.backward(grad, workspace=workspace)
+        grad = self.relu_inner.backward(grad, workspace=workspace)
+        grad = self.conv1.backward(grad, workspace=workspace)
+        dsum = self._scratch(workspace, "dsum", grad.shape,
+                             np.result_type(grad.dtype, skip.dtype))
+        np.add(grad, skip, out=dsum)
+        return dsum
 
 
 def build_resnet_small(input_shape: tuple[int, int, int], num_classes: int,

@@ -57,6 +57,7 @@ from repro.nn.store import (
     as_store,
     chunked_sq_sum,
 )
+from repro.nn.workspace import Workspace
 
 __all__ = [
     "ADGD",
@@ -97,6 +98,7 @@ __all__ = [
     "WeightStore",
     "Weights",
     "WeightsLike",
+    "Workspace",
     "as_layers",
     "as_store",
     "chunked_sq_sum",

@@ -4,11 +4,20 @@ Losses expose both a batch-mean ``forward``/``backward`` pair for training
 and a ``per_example`` view — per-sample losses are the raw material of
 membership inference (Fig. 3's loss distributions, the Yeom attack, and
 the attack-feature extraction all consume them).
+
+A loss can borrow a model's :class:`~repro.nn.workspace.Workspace` (the
+train-step driver attaches it before ``forward``): the softmax /
+cross-entropy temporaries then live in reusable arena buffers.  The
+workspace path computes log-softmax once and derives the probabilities
+as ``exp(log_softmax)`` — exactly how the plain path defines
+:func:`softmax` — so results are bitwise identical either way.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.workspace import Workspace
 
 
 def log_softmax(logits: np.ndarray) -> np.ndarray:
@@ -25,6 +34,28 @@ def softmax(logits: np.ndarray) -> np.ndarray:
 class Loss:
     """Loss protocol: forward caches, backward returns dL/dlogits."""
 
+    #: Per-batch caches excluded from pickling, mirroring
+    #: :attr:`repro.nn.layers.Layer._ephemeral`.
+    _ephemeral: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._ws: Workspace | None = None
+
+    def attach_workspace(self, workspace: Workspace | None) -> None:
+        """Borrow a model's scratch arena (or detach with ``None``)."""
+        self._ws = workspace
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_ws", None)
+        for key in self._ephemeral:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._ws = None
+
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
         raise NotImplementedError
 
@@ -39,16 +70,54 @@ class Loss:
 class SoftmaxCrossEntropy(Loss):
     """Fused softmax + cross-entropy on integer class labels."""
 
+    _ephemeral = ("_probs", "_targets", "_probs_in_arena", "_arange_cache")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # np.arange(n) reused across batches; an epoch sees at most two
+        # batch lengths (full and final-partial).
+        self._arange_cache: dict[int, np.ndarray] = {}
+
+    def _arange(self, n: int) -> np.ndarray:
+        cache = getattr(self, "_arange_cache", None)
+        if cache is None:
+            cache = self._arange_cache = {}
+        arr = cache.get(n)
+        if arr is None:
+            arr = cache[n] = np.arange(n)
+        return arr
+
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        self._probs = softmax(logits)
+        n = len(targets)
         self._targets = targets
-        logp = log_softmax(logits)
-        return float(-logp[np.arange(len(targets)), targets].mean())
+        ws = getattr(self, "_ws", None)
+        if ws is None:
+            self._probs = softmax(logits)
+            self._probs_in_arena = False
+            logp = log_softmax(logits)
+            return float(-logp[self._arange(n), targets].mean())
+        m = ws.request(self, "max", logits.shape[:-1] + (1,), logits.dtype)
+        logits.max(axis=-1, keepdims=True, out=m)
+        logp = ws.request(self, "logp", logits.shape, logits.dtype)
+        np.subtract(logits, m, out=logp)
+        expd = ws.request(self, "exp", logits.shape, logits.dtype)
+        np.exp(logp, out=expd)
+        s = ws.request(self, "sum", logits.shape[:-1] + (1,), logits.dtype)
+        expd.sum(axis=-1, keepdims=True, out=s)
+        np.log(s, out=s)
+        np.subtract(logp, s, out=logp)
+        probs = ws.request(self, "probs", logits.shape, logits.dtype)
+        np.exp(logp, out=probs)
+        self._probs = probs
+        self._probs_in_arena = True
+        return float(-logp[self._arange(n), targets].mean())
 
     def backward(self) -> np.ndarray:
         n = len(self._targets)
-        grad = self._probs.copy()
-        grad[np.arange(n), self._targets] -= 1.0
+        # the arena-held probs buffer is refilled every forward, so the
+        # workspace path mutates it in place instead of copying.
+        grad = self._probs if self._probs_in_arena else self._probs.copy()
+        grad[self._arange(n), self._targets] -= 1.0
         grad /= n
         self._probs = None
         self._targets = None
@@ -62,6 +131,8 @@ class SoftmaxCrossEntropy(Loss):
 
 class MSELoss(Loss):
     """Mean squared error against one-hot or real-valued targets."""
+
+    _ephemeral = ("_diff",)
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
         self._diff = logits - targets

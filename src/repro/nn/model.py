@@ -27,6 +27,7 @@ import numpy as np
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, softmax
 from repro.nn.store import Layout, WeightsLike, WeightStore
+from repro.nn.workspace import Workspace
 
 #: One dict of named arrays per parameter-carrying layer, front to back.
 Weights = list[dict[str, np.ndarray]]
@@ -40,6 +41,9 @@ class Model:
                  name: str = "model") -> None:
         self.layers = list(layers)
         self.name = name
+        # Scratch arena for forward/backward temporaries; process-local
+        # and excluded from pickling/cloning (fresh arenas are rebuilt).
+        self._workspace: Workspace | None = Workspace()
         self._bind_flat()
         if rng is not None:
             self.attach_rng(rng)
@@ -63,10 +67,25 @@ class Model:
             self._grads_ready = False
             return
         layout = Layout.from_model(self)
-        store = WeightStore(layout, np.empty(layout.num_params,
-                                             dtype=layout.dtype))
-        grad_buffer = np.zeros(layout.num_params, dtype=layout.dtype)
-        for idx, layer in enumerate(trainable):
+        self._layout = layout
+        self._store = WeightStore(layout, np.empty(layout.num_params,
+                                                   dtype=layout.dtype))
+        self._grad_buffer = np.zeros(layout.num_params, dtype=layout.dtype)
+        self._rebind_views()
+        self._grads_ready = False
+
+    def _rebind_views(self) -> None:
+        """Bind every trainable layer's arrays onto the flat buffers.
+
+        Used at construction and again on unpickle: a pickled model
+        serializes the layers' view arrays as independent copies, so
+        ``__setstate__`` re-adopts them onto the (also deserialized)
+        flat weight/gradient buffers to restore the aliasing invariant.
+        """
+        layout = self._layout
+        store = self._store
+        grad_buffer = self._grad_buffer
+        for idx, layer in enumerate(self.trainable):
             params: dict[str, np.ndarray] = {}
             buffers: dict[str, np.ndarray] = {}
             grads: dict[str, np.ndarray] = {}
@@ -81,10 +100,6 @@ class Model:
                 else:
                     buffers[entry.key] = view
             layer.adopt_views(params, buffers, grads)
-        self._layout = layout
-        self._store = store
-        self._grad_buffer = grad_buffer
-        self._grads_ready = False
 
     def attach_rng(self, rng: np.random.Generator) -> None:
         """Provide the random source consumed by stochastic layers."""
@@ -120,22 +135,59 @@ class Model:
         return sum(layer.num_parameters() for layer in self.trainable)
 
     # ------------------------------------------------------------------
+    # workspace plane
+    # ------------------------------------------------------------------
+    @property
+    def workspace(self) -> Workspace | None:
+        """The scratch arena threaded through forward/backward
+        (``None`` when disabled via :meth:`use_workspace`)."""
+        return self._workspace
+
+    def use_workspace(self, enabled: bool = True) -> None:
+        """Enable (default) or disable the scratch arena.
+
+        Disabling reverts every forward/backward temporary to a fresh
+        allocation — the pre-workspace behavior, bitwise identical and
+        useful as a benchmark baseline.  Re-enabling starts from an
+        empty arena.
+        """
+        if enabled:
+            if self._workspace is None:
+                self._workspace = Workspace()
+        else:
+            self._workspace = None
+
+    # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        """Logits for one batch.
+
+        With the workspace enabled the returned array is an arena
+        buffer: valid until the next forward pass, after which it is
+        overwritten in place.  Callers that hold results across batches
+        must copy (as :meth:`predict_logits` does).
+        """
+        ws = self._workspace
         for layer in self.layers:
-            x = layer.forward(x, training=training)
+            x = layer.forward(x, training=training, workspace=ws)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Input gradient for the last forward batch (same transient
+        arena-buffer contract as :meth:`forward`)."""
+        ws = self._workspace
         for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+            grad = layer.backward(grad, workspace=ws)
         self._grads_ready = True
         return grad
 
     def loss_and_grad(self, x: np.ndarray, y: np.ndarray,
                       loss: Loss) -> float:
         """One forward + backward pass; layer ``grads`` are left populated."""
+        attach = getattr(loss, "attach_workspace", None)
+        if attach is not None:
+            attach(self._workspace)
         logits = self.forward(x, training=True)
         value = loss.forward(logits, y)
         self.backward(loss.backward())
@@ -175,7 +227,9 @@ class Model:
         first = self.forward(x[:batch_size], training=False)
         n = len(x)
         if n <= batch_size:
-            return first
+            # with the workspace on, ``first`` is a transient arena
+            # buffer — hand the caller an owned copy.
+            return first.copy() if self._workspace is not None else first
         out = np.empty((n,) + first.shape[1:], dtype=first.dtype)
         out[:batch_size] = first
         for i in range(batch_size, n, batch_size):
@@ -267,6 +321,27 @@ class Model:
                 f"{self.name}: store layout {store.layout} does not "
                 f"match model layout {layout}")
         self._store.buffer[...] = store.buffer
+
+    def __getstate__(self) -> dict:
+        """Serialize without the process-local workspace arena.
+
+        Layers drop their per-batch caches via ``Layer.__getstate__``,
+        so a pickled model (checkpoints, executor dispatch, deepcopy)
+        never ships batch-sized scratch.
+        """
+        state = self.__dict__.copy()
+        state.pop("_workspace", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._workspace = Workspace()
+        if self._layout is not None:
+            # plain pickling serialized the layers' views as independent
+            # arrays; re-adopt them onto the flat buffers.  (For clone()
+            # the memo already mapped every view, making this a no-op
+            # value-wise.)
+            self._rebind_views()
 
     def clone(self) -> "Model":
         """Independent copy: buffer copies plus a cheap structure copy.

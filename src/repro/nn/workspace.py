@@ -1,0 +1,151 @@
+"""Workspace plane: a per-model arena of reusable scratch buffers.
+
+The train-step hot path used to re-allocate every batch-sized
+temporary on every batch: im2col patch buffers, layer outputs,
+activation masks, batch-norm centered/normalized arrays, `_col2im`
+scatter targets, softmax/cross-entropy temporaries.  The
+:class:`Workspace` arena makes those allocations one-time: each scratch
+array is requested by ``(layer index, role, shape, dtype)``, sized
+lazily on first use, and handed back — the *same* buffer — on every
+later batch with the same key.
+
+This mirrors how the ``WeightStore`` made the weight plane one buffer:
+the workspace makes the *scratch* plane a fixed set of buffers.  The
+arithmetic performed into those buffers is unchanged (every write uses
+the ``out=`` form of the exact legacy expression), so float64 results
+are bitwise identical with and without a workspace.
+
+Keying rules
+------------
+
+* **owner** — the requesting layer (or loss) object.  Owners are
+  interned to a small integer index in first-use order, so two layers
+  with identical shapes never share a buffer, and composite layers
+  (residual blocks) can let each sublayer request its own scratch.
+* **role** — a short string naming the buffer's job (``"cols"``,
+  ``"out"``, ``"mask"``, ...), distinguishing the several live scratch
+  arrays one layer needs within a single forward/backward pair.
+* **shape / dtype** — part of the key, not a constraint to check:
+  a *partial final batch* simply resolves to different keys and gets
+  its own (smaller) buffers instead of corrupting the cached
+  full-batch ones.  In steady state an epoch touches at most two batch
+  shapes, so the arena stays bounded.
+
+Lifecycle and fork semantics
+----------------------------
+
+A workspace belongs to exactly one :class:`~repro.nn.model.Model` and
+is **process-local**: it is excluded from model pickling (a fresh empty
+arena is rebuilt on unpickle and on :meth:`Model.clone`), never appears
+in defense ``export_state`` payloads, checkpoints, or executor
+task/result messages, and attempting to pickle one directly raises
+``TypeError``.  Forked executor workers inherit the parent's arena
+pages copy-on-write and then fill their own private copies — scratch
+contents never travel between processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Arena of reusable scratch buffers keyed by
+    ``(owner index, role, shape, dtype)``."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        # id(owner) -> dense index; the parallel list keeps each owner
+        # alive so a recycled id can never alias another layer's keys.
+        self._owner_ids: dict[int, int] = {}
+        self._owners: list[object] = []
+        #: Buffers served from the arena (steady-state requests).
+        self.hits = 0
+        #: Buffers allocated because their key was new.
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def owner_index(self, owner: object) -> int:
+        """The dense layer index of ``owner``, assigned on first use."""
+        idx = self._owner_ids.get(id(owner))
+        if idx is None:
+            idx = len(self._owners)
+            self._owner_ids[id(owner)] = idx
+            self._owners.append(owner)
+        return idx
+
+    def request(self, owner: object, role: str, shape: tuple[int, ...],
+                dtype: np.dtype | type | str) -> np.ndarray:
+        """The scratch buffer for one ``(owner, role, shape, dtype)`` key.
+
+        Contents are **unspecified** (uninitialized on a miss, the
+        previous batch's values on a hit): the caller must fully
+        overwrite the buffer before reading it.  Use :meth:`zeros` for
+        scatter-add targets that rely on a zeroed start.
+        """
+        return self.request_info(owner, role, shape, dtype)[0]
+
+    def request_info(self, owner: object, role: str, shape: tuple[int, ...],
+                     dtype: np.dtype | type | str
+                     ) -> tuple[np.ndarray, bool]:
+        """Like :meth:`request`, also reporting whether the buffer is
+        freshly allocated.  Lets callers run one-time initialization
+        (e.g. zeroing a padded image's constant border) only on a miss.
+        """
+        key = (self.owner_index(owner), role, tuple(shape), np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(key[2], dtype=key[3])
+            self._buffers[key] = buffer
+            self.misses += 1
+            return buffer, True
+        self.hits += 1
+        return buffer, False
+
+    def zeros(self, owner: object, role: str, shape: tuple[int, ...],
+              dtype: np.dtype | type | str) -> np.ndarray:
+        """Like :meth:`request`, but zero-filled on every call."""
+        buffer = self.request(owner, role, shape, dtype)
+        buffer.fill(0)
+        return buffer
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_buffers(self) -> int:
+        """How many distinct scratch buffers the arena holds."""
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held across all scratch buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def keys(self) -> list[tuple]:
+        """The arena's ``(owner index, role, shape, dtype)`` keys."""
+        return sorted(self._buffers, key=repr)
+
+    def clear(self) -> None:
+        """Drop every buffer (and owner registration), keeping counters."""
+        self._buffers.clear()
+        self._owner_ids.clear()
+        self._owners.clear()
+
+    # ------------------------------------------------------------------
+    # process-locality
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        raise TypeError(
+            "Workspace is process-local scratch and must never be "
+            "pickled; models drop their workspace on pickling and "
+            "rebuild a fresh one on load")
+
+    def __repr__(self) -> str:
+        return (f"Workspace({self.num_buffers} buffers, "
+                f"{self.nbytes} bytes, hits={self.hits}, "
+                f"misses={self.misses})")

@@ -1,0 +1,223 @@
+"""Workspace-plane tests: arena keying, bitwise parity, pickling hygiene.
+
+The workspace's contract has three legs:
+
+* **Keying** — scratch buffers are interned by
+  ``(owner index, role, shape, dtype)``; same key means same buffer,
+  any differing component means a distinct one.
+* **Bitwise parity** — training with the arena enabled produces the
+  exact same float trajectory as with it disabled (which is the
+  pre-workspace allocating path), at float64 *and* float32, including
+  partial final batches that re-key mid-epoch.
+* **Process-locality** — workspaces and per-batch layer caches never
+  survive pickling; ``Workspace`` itself refuses to pickle, so a
+  successful ``pickle.dumps`` of any payload doubles as proof that no
+  workspace is reachable from it.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.fcnn import build_fcnn
+from repro.models.vgg import build_vgg_small
+from repro.nn.layers import Dense
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+from repro.nn.workspace import Workspace
+
+
+class TestArenaKeying:
+    def test_same_key_reuses_buffer(self):
+        ws = Workspace()
+        owner = object()
+        first = ws.request(owner, "out", (4, 3), np.float64)
+        second = ws.request(owner, "out", (4, 3), np.float64)
+        assert first is second
+        assert ws.misses == 1 and ws.hits == 1
+        assert ws.num_buffers == 1
+
+    def test_distinct_owners_never_share(self):
+        ws = Workspace()
+        a, b = object(), object()
+        assert ws.request(a, "out", (4, 3), np.float64) is not \
+            ws.request(b, "out", (4, 3), np.float64)
+        assert ws.num_buffers == 2
+
+    def test_role_shape_dtype_all_key(self):
+        ws = Workspace()
+        owner = object()
+        base = ws.request(owner, "out", (4, 3), np.float64)
+        assert ws.request(owner, "mask", (4, 3), np.float64) is not base
+        assert ws.request(owner, "out", (2, 3), np.float64) is not base
+        assert ws.request(owner, "out", (4, 3), np.float32) is not base
+        # the original key still resolves to the original buffer
+        assert ws.request(owner, "out", (4, 3), np.float64) is base
+        assert ws.num_buffers == 4
+
+    def test_request_info_reports_freshness(self):
+        ws = Workspace()
+        owner = object()
+        _, fresh = ws.request_info(owner, "pad", (2, 2), np.float64)
+        assert fresh
+        _, fresh = ws.request_info(owner, "pad", (2, 2), np.float64)
+        assert not fresh
+
+    def test_zeros_refills_every_call(self):
+        ws = Workspace()
+        owner = object()
+        buf = ws.zeros(owner, "col2im", (3, 3), np.float64)
+        buf += 7.0
+        again = ws.zeros(owner, "col2im", (3, 3), np.float64)
+        assert again is buf
+        assert np.all(again == 0.0)
+
+    def test_owner_interning_survives_id_reuse(self):
+        # the arena keeps strong refs, so a dead owner's recycled id()
+        # can never alias a live owner's buffers.
+        ws = Workspace()
+        owner = object()
+        index = ws.owner_index(owner)
+        del owner
+        others = [object() for _ in range(64)]
+        assert all(ws.owner_index(o) != index for o in others)
+
+    def test_workspace_refuses_pickling(self):
+        with pytest.raises(TypeError, match="process-local"):
+            pickle.dumps(Workspace())
+
+
+def _conv_setup(dtype, seed=3):
+    model = build_vgg_small((3, 8, 8), 5, np.random.default_rng(seed),
+                            dtype=dtype)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((12, 3, 8, 8)).astype(dtype)
+    y = rng.integers(0, 5, 12)
+    return model, x, y
+
+
+def _dense_setup(dtype, seed=3):
+    model = build_fcnn(20, 4, np.random.default_rng(seed), dtype=dtype)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((16, 20)).astype(dtype)
+    y = rng.integers(0, 4, 16)
+    return model, x, y
+
+
+def _train(model, x, y, steps=3, batch_sizes=None):
+    """A few SGD steps; returns (losses, final flat buffer copy)."""
+    loss = SoftmaxCrossEntropy()
+    optimizer = SGD(model, 0.05)
+    losses = []
+    start = 0
+    for step in range(steps):
+        if batch_sizes is None:
+            xb, yb = x, y
+        else:
+            size = batch_sizes[step % len(batch_sizes)]
+            xb, yb = x[:size], y[:size]
+        losses.append(model.loss_and_grad(xb, yb, loss))
+        optimizer.step()
+        start += 1
+    return losses, model.weights.buffer.copy()
+
+
+@pytest.mark.parametrize("setup", [_conv_setup, _dense_setup],
+                         ids=["conv", "dense"])
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_workspace_on_off_bitwise_identical(setup, dtype):
+    model_on, x, y = setup(dtype)
+    model_off, _, _ = setup(dtype)
+    model_off.use_workspace(False)
+    assert model_off.workspace is None
+
+    losses_on, final_on = _train(model_on, x, y)
+    losses_off, final_off = _train(model_off, x, y)
+    assert losses_on == losses_off
+    assert np.array_equal(final_on, final_off)
+    ws = model_on.workspace
+    assert ws.num_buffers > 0 and ws.hits > 0
+
+
+@pytest.mark.parametrize("setup", [_conv_setup, _dense_setup],
+                         ids=["conv", "dense"])
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@settings(max_examples=8, deadline=None)
+@given(partial=st.integers(min_value=1, max_value=11),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_partial_batches_rekey_bitwise(setup, dtype, partial, seed):
+    """full / partial / full batch alternation matches a fresh model.
+
+    A smaller final batch resolves to different arena keys; it must get
+    its own buffers rather than corrupt the cached full-batch ones, so
+    the arena-backed run stays bitwise equal to an arena-free one.
+    """
+    sizes = [12, partial, 12]
+    model_ws, x, y = setup(dtype, seed=seed % 97)
+    model_fresh, _, _ = setup(dtype, seed=seed % 97)
+    model_fresh.use_workspace(False)
+
+    losses_ws, final_ws = _train(model_ws, x, y, steps=6,
+                                 batch_sizes=sizes)
+    losses_fresh, final_fresh = _train(model_fresh, x, y, steps=6,
+                                       batch_sizes=sizes)
+    assert losses_ws == losses_fresh
+    assert np.array_equal(final_ws, final_fresh)
+
+
+class TestPicklingHygiene:
+    def test_trained_model_pickles_without_scratch(self):
+        model, x, y = _conv_setup("float64")
+        model.loss_and_grad(x, y, SoftmaxCrossEntropy())
+        # Workspace.__reduce__ raises, so success here proves no
+        # workspace is reachable from the pickled payload.
+        payload = pickle.dumps(model)
+        fresh = build_vgg_small((3, 8, 8), 5, np.random.default_rng(3))
+        slack = 4096
+        assert len(payload) <= len(pickle.dumps(fresh)) + slack, \
+            "pickled model still ships batch-sized caches"
+
+    def test_layer_caches_dropped_on_pickle(self):
+        model, x, y = _conv_setup("float64")
+        loss = SoftmaxCrossEntropy()
+        model.loss_and_grad(x, y, loss)
+        for layer in model.layers:
+            state = layer.__getstate__()
+            for name in type(layer)._ephemeral:
+                assert name not in state, \
+                    f"{layer.name} pickles ephemeral cache {name!r}"
+        assert "_ws" not in loss.__getstate__()
+        assert "_probs" not in loss.__getstate__()
+
+    def test_unpickled_model_gets_fresh_workspace(self):
+        model, x, y = _conv_setup("float64")
+        loss = SoftmaxCrossEntropy()
+        model.loss_and_grad(x, y, loss)
+        restored = pickle.loads(pickle.dumps(model))
+        assert isinstance(restored.workspace, Workspace)
+        assert restored.workspace is not model.workspace
+        assert restored.workspace.num_buffers == 0
+        # and it still trains, bitwise in step with the original
+        value = model.loss_and_grad(x, y, loss)
+        assert restored.loss_and_grad(x, y, loss) == value
+        assert np.array_equal(restored.weights.buffer,
+                              model.weights.buffer)
+        assert np.array_equal(restored.grad_vector, model.grad_vector)
+
+    def test_clone_does_not_share_workspace(self):
+        model, x, y = _conv_setup("float64")
+        model.loss_and_grad(x, y, SoftmaxCrossEntropy())
+        clone = model.clone()
+        assert clone.workspace is not model.workspace
+        assert clone.workspace.num_buffers == 0
+
+    def test_workspace_disabled_model_roundtrips(self):
+        model = Model([Dense(6, 3, np.random.default_rng(0))])
+        model.use_workspace(False)
+        restored = pickle.loads(pickle.dumps(model))
+        # unpickling always rebuilds an arena (the default state)
+        assert isinstance(restored.workspace, Workspace)
