@@ -1,0 +1,157 @@
+"""Fleet-scale aggregation: constant-memory streaming vs dense batch.
+
+The fleet plane's claim is that cohort size is a free axis on the
+aggregation side: a round over 100k sampled clients folds through the
+:class:`StreamingAccumulator` in the same peak memory as a 1k round,
+while the dense :class:`UpdateBatch` grows linearly and is only kept
+for ``requires_dense`` rules.  This benchmark measures both at
+1k/10k/100k synthetic clients (updates generated one at a time from
+per-client seeds, so the harness itself never materializes the fleet),
+verifies the streamed FedAvg matches :func:`fedavg_reference` within
+the pinned 2-ULP envelope at 1k clients, and writes
+``BENCH_fleet.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import (
+    StreamingAccumulator,
+    UpdateBatch,
+    fedavg_reference,
+)
+from repro.models.fcnn import build_fcnn
+from repro.nn.store import WeightStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+
+STREAM_COUNTS = (1_000, 10_000, 100_000)
+DENSE_COUNTS = (1_000, 10_000)  # 100k dense would be ~2.4 GB: the point
+
+
+def _layout():
+    model = build_fcnn(40, 20, np.random.default_rng(0),
+                       hidden=(32, 32))
+    return model.get_store().layout
+
+
+def _client_update(layout, client_id: int) -> np.ndarray:
+    """One synthetic client's flat update, regenerable from its id."""
+    rng = np.random.default_rng((7, client_id))
+    return rng.standard_normal(layout.num_params)
+
+
+def _num_samples(n: int) -> np.ndarray:
+    return np.random.default_rng(13).integers(20, 200, size=n)
+
+
+def _stream_round(layout, n: int):
+    """Fold n generated updates; return (result, seconds, peak_bytes,
+    accumulator_nbytes)."""
+    samples = _num_samples(n)
+    total = float(samples.sum())
+    tracemalloc.start()
+    start = time.perf_counter()
+    acc = StreamingAccumulator(layout)
+    acc.reset(total_weight=total)
+    for i in range(n):
+        acc.fold(WeightStore(layout, _client_update(layout, i)),
+                 weight=float(samples[i]))
+    result = acc.drain()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak, acc.nbytes
+
+
+def _dense_round(layout, n: int):
+    """Collect n generated updates densely; return (seconds,
+    peak_bytes, batch_nbytes)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    batch = UpdateBatch(layout, capacity=n, client_cap=n)
+    for i in range(n):
+        batch.add(WeightStore(layout, _client_update(layout, i)))
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return seconds, peak, batch.nbytes
+
+
+@pytest.mark.bench
+def test_streaming_memory_flat_dense_linear():
+    layout = _layout()
+    entries = []
+
+    stream_peaks = {}
+    for n in STREAM_COUNTS:
+        result, seconds, peak, acc_nbytes = _stream_round(layout, n)
+        stream_peaks[n] = peak
+        entries.append({
+            "path": "streaming", "clients": n,
+            "params": layout.num_params,
+            "round_seconds": round(seconds, 4),
+            "peak_mib": round(peak / 2**20, 3),
+            "state_mib": round(acc_nbytes / 2**20, 3),
+        })
+        if n == STREAM_COUNTS[0]:
+            reference_result = result
+
+    dense_nbytes = {}
+    for n in DENSE_COUNTS:
+        seconds, peak, nbytes = _dense_round(layout, n)
+        dense_nbytes[n] = nbytes
+        entries.append({
+            "path": "dense", "clients": n,
+            "params": layout.num_params,
+            "round_seconds": round(seconds, 4),
+            "peak_mib": round(peak / 2**20, 3),
+            "state_mib": round(nbytes / 2**20, 3),
+        })
+
+    # exactness: streamed FedAvg at 1k clients vs the nested oracle
+    n0 = STREAM_COUNTS[0]
+    samples = [int(s) for s in _num_samples(n0)]
+    nested = [
+        WeightStore(layout, _client_update(layout, i)).to_layers()
+        for i in range(n0)
+    ]
+    oracle = fedavg_reference(nested, samples)
+    np.testing.assert_array_almost_equal_nulp(
+        reference_result.buffer,
+        WeightStore.from_layers(oracle, layout).buffer, nulp=2)
+
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "fleet aggregation: streaming vs dense memory",
+        "entries": entries,
+    }, indent=2) + "\n")
+
+    print()
+    print(f"{'path':<12}{'clients':>9}{'seconds':>10}"
+          f"{'peak MiB':>11}{'state MiB':>11}")
+    for e in entries:
+        print(f"{e['path']:<12}{e['clients']:>9}"
+              f"{e['round_seconds']:>10.3f}{e['peak_mib']:>11.2f}"
+              f"{e['state_mib']:>11.2f}")
+
+    lo, hi = STREAM_COUNTS[0], STREAM_COUNTS[-1]
+    assert stream_peaks[hi] <= 1.1 * stream_peaks[lo], (
+        f"streaming peak must stay flat (within 10%) from {lo} to "
+        f"{hi} clients: {stream_peaks[lo]} -> {stream_peaks[hi]} bytes")
+    growth = dense_nbytes[DENSE_COUNTS[1]] / dense_nbytes[DENSE_COUNTS[0]]
+    expected = DENSE_COUNTS[1] / DENSE_COUNTS[0]
+    assert growth >= 0.8 * expected, (
+        f"dense batch memory should grow ~linearly "
+        f"({expected}x expected, measured {growth:.1f}x)")
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-s", "-q"])

@@ -53,6 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes for client training "
                           "(0/1 = serial; results are bitwise "
                           "identical either way)")
+    run.add_argument("--sample-fraction", type=float, default=1.0,
+                     help="fraction of the selected cohort actually "
+                          "sampled each round (cfraction-style; "
+                          "default 1.0 = everyone)")
+    run.add_argument("--drop-rate", type=float, default=0.0,
+                     help="per-(round, client) dropout probability; "
+                          "reproducible and worker-count-independent "
+                          "(default 0.0)")
+    run.add_argument("--completion-threshold", type=float, default=1.0,
+                     help="fraction of the sampled cohort that must "
+                          "report before the round closes; later "
+                          "completions are discarded as stragglers "
+                          "(default 1.0 = wait for everyone)")
     run.add_argument("--dtype", default="float64",
                      choices=["float32", "float64"],
                      help="compute-plane precision (float64 is the "
@@ -86,6 +99,9 @@ def _config_from_args(args) -> FLConfig:
         seed=args.seed,
         eval_every=args.rounds or base.rounds,
         workers=args.workers,
+        sample_fraction=args.sample_fraction,
+        drop_rate=args.drop_rate,
+        completion_threshold=args.completion_threshold,
         dtype=args.dtype,
     )
 
@@ -109,6 +125,7 @@ def _cmd_run(args) -> int:
              f"{1000 * costs.aggregate_seconds_per_round:.1f}ms"],
             ["defense extra state",
              f"{costs.defense_state_bytes / 1024:.0f} KiB"],
+            ["fleet participation", costs.participation_summary()],
         ],
         title=f"{args.dataset} under {args.defense} "
               f"({args.attack} attack; 50% AUC is optimal)"))

@@ -8,6 +8,7 @@ hook interface in :mod:`repro.privacy.defenses.base`.
 """
 
 from repro.fl.aggregation import (
+    StreamingAccumulator,
     coordinate_median,
     fedavg,
     trimmed_mean,
@@ -28,6 +29,7 @@ __all__ = [
     "FederatedSimulation",
     "History",
     "RoundRecord",
+    "StreamingAccumulator",
     "coordinate_median",
     "fedavg",
     "trimmed_mean",

@@ -4,12 +4,25 @@ FedAvg is the paper's aggregation (§2.1).  Trimmed mean and coordinate
 median are extensions (DESIGN.md §6) for composing DINAR with
 Byzantine-robust aggregation.
 
-Every rule reduces a ``(num_clients, num_params)`` matrix of flat
-client updates with one NumPy operation per column chunk and returns a
-:class:`~repro.nn.store.WeightStore`.  Legacy nested ``Weights``
-updates are accepted and bridged; :func:`fedavg_reference` retains the
-seed nested-dict implementation as the oracle the property tests and
-the aggregation benchmark compare against.
+Two reduction shapes coexist:
+
+* **Streaming** (:class:`StreamingAccumulator`) — the fleet-plane
+  default: each arriving flat update is folded into chunked partial
+  sums in client-arrival order, so aggregation-side memory is constant
+  in cohort size (one bounded staging block plus one partial vector).
+  This is what lets a round sample thousands-to-millions of clients.
+* **Dense** (:class:`UpdateBatch` + the rule functions below) — a
+  ``(num_clients, num_params)`` matrix, retained only for rules that
+  genuinely need every client row materialized at once (order
+  statistics over the client axis: trimmed mean, coordinate median).
+  Dense rules declare ``requires_dense = True`` and the batch enforces
+  a configurable client cap (:data:`DENSE_CLIENT_CAP`) so nobody
+  accidentally materializes a fleet.
+
+Legacy nested ``Weights`` updates are accepted and bridged;
+:func:`fedavg_reference` retains the seed nested-dict implementation
+as the oracle the property tests and the aggregation benchmark compare
+against.
 
 The weighted column sum is computed with ``np.einsum`` over column
 chunks, which accumulates clients sequentially in the same order as
@@ -18,7 +31,13 @@ cache-resident (the chunking is what buys the speedup on models larger
 than cache).  einsum may contract each multiply-add as a fused FMA,
 whose deferred rounding can shift individual coordinates by 1 ULP
 relative to the reference's separate multiply-then-add — agreement is
-therefore ULP-level, not bitwise (see the property tests).
+therefore ULP-level, not bitwise (see the property tests).  The
+streaming accumulator flushes blocks through the *same* einsum with
+the running partial carried as an extra coefficient-1.0 row, which
+continues the identical sequential accumulation chain — so streaming
+and dense reductions agree to the same envelope (bitwise on builds
+whose einsum accumulates strictly in order, which the fleet benchmark
+verifies).
 """
 
 from __future__ import annotations
@@ -35,6 +54,20 @@ from repro.nn.store import Layout, WeightsLike, WeightStore, as_store
 #: float64 columns was the empirical sweet spot on CPU.
 REDUCE_CHUNK = 65536
 
+#: Client rows the streaming accumulator stages before flushing a
+#: block through the chunked einsum.  Any cohort up to this size is
+#: reduced in literally one dense einsum call (bitwise identical to
+#: the pre-fleet dense path); larger cohorts chain blocks through the
+#: carry row.  64 rows keeps staging memory at 64 x num_params.
+STREAM_BLOCK = 64
+
+#: Default ceiling on the clients a dense :class:`UpdateBatch` will
+#: materialize.  Dense memory is O(clients x params); rules that need
+#: it (``requires_dense``) are order statistics whose usefulness caps
+#: out far below fleet scale.  Pass ``client_cap`` explicitly to raise
+#: it when you really mean to.
+DENSE_CLIENT_CAP = 1024
+
 
 class UpdateBatch:
     """A round's client updates as rows of one pooled matrix.
@@ -43,12 +76,27 @@ class UpdateBatch:
     ``add``), so collecting a cohort's updates costs one row copy per
     client and aggregation never re-walks nested structures.  In a
     deployment this is where deserialized updates would land directly.
+
+    This is the **dense fallback** of the fleet plane: memory grows
+    linearly in cohort size, so it is reserved for ``requires_dense``
+    rules (trimmed mean, coordinate median) and guarded by
+    ``client_cap``.  Streaming rules fold through
+    :class:`StreamingAccumulator` in constant memory instead.
     """
 
-    def __init__(self, layout: Layout, capacity: int = 8) -> None:
+    def __init__(self, layout: Layout, capacity: int = 8, *,
+                 client_cap: int = DENSE_CLIENT_CAP) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if client_cap < 1:
+            raise ValueError(f"client_cap must be >= 1, got {client_cap}")
+        if capacity > client_cap:
+            raise ValueError(
+                f"capacity {capacity} exceeds client_cap {client_cap}; "
+                f"raise client_cap explicitly if a dense matrix of that "
+                f"many clients is really intended")
         self.layout = layout
+        self.client_cap = client_cap
         self._matrix = np.empty((capacity, layout.num_params),
                                 dtype=layout.dtype)
         self._count = 0
@@ -57,14 +105,36 @@ class UpdateBatch:
         """Forget all collected rows (the matrix stays allocated)."""
         self._count = 0
 
+    def ensure_capacity(self, num_clients: int) -> None:
+        """Grow the matrix once to hold ``num_clients`` rows.
+
+        Callers that know the cohort size up front (the server does)
+        pre-size here instead of paying O(log n) doubling copies
+        through :meth:`add`.  Collected rows are preserved.
+        """
+        if num_clients > self.client_cap:
+            raise ValueError(
+                f"dense UpdateBatch is capped at {self.client_cap} "
+                f"clients, got {num_clients}; use StreamingAccumulator "
+                f"for fleet-scale cohorts or raise client_cap")
+        if num_clients <= len(self._matrix):
+            return
+        grown = np.empty((num_clients, self.layout.num_params),
+                         dtype=self.layout.dtype)
+        grown[:self._count] = self._matrix[:self._count]
+        self._matrix = grown
+
     def add(self, update: WeightsLike) -> None:
         """Copy one client update into the next matrix row."""
-        if self._count == len(self._matrix):
-            grown = np.empty((2 * len(self._matrix),
-                              self.layout.num_params),
-                             dtype=self.layout.dtype)
-            grown[:self._count] = self._matrix[:self._count]
-            self._matrix = grown
+        needed = self._count + 1
+        if needed > self.client_cap:
+            raise ValueError(
+                f"dense UpdateBatch is capped at {self.client_cap} "
+                f"clients; use StreamingAccumulator for fleet-scale "
+                f"cohorts or raise client_cap")
+        if needed > len(self._matrix):
+            self.ensure_capacity(
+                min(max(2 * len(self._matrix), needed), self.client_cap))
         store = as_store(update, layout=self.layout)
         self._matrix[self._count] = store.buffer
         self._count += 1
@@ -73,6 +143,11 @@ class UpdateBatch:
     def matrix(self) -> np.ndarray:
         """View of the filled ``(len(self), num_params)`` rows."""
         return self._matrix[:self._count]
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated matrix bytes (linear in collected capacity)."""
+        return self._matrix.nbytes
 
     def __len__(self) -> int:
         return self._count
@@ -125,6 +200,124 @@ def _weighted_colsum(matrix: np.ndarray, coeffs: np.ndarray,
     return out
 
 
+class StreamingAccumulator:
+    """Folds arriving flat updates into constant-memory partial sums.
+
+    The fleet-plane reduction: each :meth:`fold` copies one update into
+    a bounded staging block; a full block is flushed through the same
+    chunked einsum the dense path uses, with the running partial carried
+    into the next flush as an extra coefficient-1.0 row.  Because einsum
+    accumulates the client axis sequentially, the carry row *continues*
+    the dense reduction's accumulation chain rather than starting a new
+    one — a cohort of any size folds to the same value the one-shot
+    dense einsum produces (bitwise wherever einsum's accumulation is
+    strictly in-order; never worse than the documented ULP envelope).
+
+    Memory is ``(block + 1) x num_params`` staging plus one partial
+    vector — independent of how many clients fold.
+
+    Weighting has two modes, chosen per :meth:`reset`:
+
+    * ``total_weight=t`` — the final mixing total is known up front (the
+      round-closing policy fixes the completion set, and FedAvg weights
+      are metadata that travels ahead of the update payloads).  Each
+      row's einsum coefficient is ``weight / t``, exactly the
+      normalized coefficient vector of the dense FedAvg path.
+    * ``total_weight=None`` — plain weighted sum (secure aggregation's
+      server step folds with weight 1.0 and rescales after
+      :meth:`drain`; callers with a genuinely unknown total divide the
+      drained sum by :attr:`weight_sum` themselves, accepting the one
+      extra rounding that late normalization costs).
+    """
+
+    def __init__(self, layout: Layout, *,
+                 block: int = STREAM_BLOCK) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self.layout = layout
+        self.block = block
+        # Row 0 is reserved for the carried partial (coefficient 1.0);
+        # client rows stage at 1..block.
+        self._stage = np.empty((block + 1, layout.num_params),
+                               dtype=layout.dtype)
+        self._coeffs = np.empty(block + 1, dtype=np.float64)
+        self._coeffs[0] = 1.0
+        self._partial = np.empty(layout.num_params, dtype=layout.dtype)
+        self.reset()
+
+    def reset(self, total_weight: float | None = None) -> None:
+        """Forget all folded rows and (re)declare the weighting mode."""
+        if total_weight is not None and not total_weight > 0:
+            raise ValueError(
+                f"total weight must be positive, got {total_weight}")
+        self._total = None if total_weight is None else float(total_weight)
+        self._staged = 0
+        self._count = 0
+        self._weight_sum = 0.0
+        self._flushed = False
+
+    @property
+    def count(self) -> int:
+        """Updates folded since the last :meth:`reset`."""
+        return self._count
+
+    @property
+    def weight_sum(self) -> float:
+        """Sum of the raw fold weights seen since the last reset."""
+        return self._weight_sum
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the accumulator holds — constant in clients folded."""
+        return (self._stage.nbytes + self._coeffs.nbytes
+                + self._partial.nbytes)
+
+    def fold(self, update: WeightsLike, weight: float = 1.0) -> None:
+        """Fold one arriving client update with its mixing weight."""
+        if self._staged == self.block:
+            self._flush()
+        row = 1 + self._staged
+        store = as_store(update, layout=self.layout)
+        self._stage[row] = store.buffer
+        self._coeffs[row] = weight if self._total is None \
+            else weight / self._total
+        self._staged += 1
+        self._count += 1
+        self._weight_sum += weight
+
+    def _flush(self) -> None:
+        """Reduce the staged block into the partial vector."""
+        k = self._staged
+        if k == 0:
+            return
+        if self._flushed:
+            # Carry the running partial as row 0 (coefficient 1.0):
+            # einsum's sequential accumulation then continues the
+            # previous flush's chain.  The copy keeps einsum's output
+            # buffer disjoint from its inputs.
+            self._stage[0] = self._partial
+            _weighted_colsum(self._stage[:1 + k], self._coeffs[:1 + k],
+                             out=self._partial)
+        else:
+            _weighted_colsum(self._stage[1:1 + k], self._coeffs[1:1 + k],
+                             out=self._partial)
+        self._flushed = True
+        self._staged = 0
+
+    def drain(self) -> WeightStore:
+        """Finalize the reduction over everything folded so far.
+
+        With a known ``total_weight`` the result is the finished
+        weighted mean; otherwise it is the raw weighted sum.  The
+        accumulator stays valid — further folds continue from the
+        drained partial, and :meth:`reset` starts the next round.
+        """
+        if self._count == 0:
+            raise ValueError("cannot aggregate zero updates")
+        self._flush()
+        return WeightStore(self.layout, self._partial.copy())
+
+
 # ----------------------------------------------------------------------
 # aggregation rules
 # ----------------------------------------------------------------------
@@ -173,6 +366,40 @@ def coordinate_median(updates: Updates) -> WeightStore:
     """Coordinate-wise median (extension: Byzantine-robust aggregation)."""
     matrix, layout = _as_matrix(updates)
     return WeightStore(layout, np.median(matrix, axis=0))
+
+
+# ----------------------------------------------------------------------
+# rule capabilities
+# ----------------------------------------------------------------------
+
+# Weighted sums fold one arrival at a time; order statistics over the
+# client axis need every row at once.  ``requires_dense`` is the
+# explicit capability the server consults: streaming rules go through
+# StreamingAccumulator in constant memory, dense rules go through a
+# cap-guarded UpdateBatch.
+fedavg.requires_dense = False
+sum_updates.requires_dense = False
+trimmed_mean.requires_dense = True
+coordinate_median.requires_dense = True
+
+#: Rule name -> callable, with the capability attributes above.
+AGGREGATION_RULES = {
+    "fedavg": fedavg,
+    "sum": sum_updates,
+    "trimmed_mean": trimmed_mean,
+    "coordinate_median": coordinate_median,
+}
+
+
+def requires_dense(rule) -> bool:
+    """Whether an aggregation rule needs the full client matrix.
+
+    Unknown rules conservatively report dense: anything that has not
+    declared it can stream must not be handed an iterator.
+    """
+    if isinstance(rule, str):
+        rule = AGGREGATION_RULES[rule]
+    return bool(getattr(rule, "requires_dense", True))
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,21 @@ class FLConfig:
     #: Worker processes for client training; 0/1 = serial reference.
     #: Any value produces bitwise-identical results (see fl.executor).
     workers: int = 0
+    #: Fraction of the (clients_per_round-limited) cohort actually
+    #: sampled each round, cfraction-style; 1.0 = everyone selected
+    #: participates (the pre-fleet default).  Drawn from a dedicated
+    #: per-round stream so the default path's RNG draws are untouched.
+    sample_fraction: float = 1.0
+    #: Per-(round, client) probability that a sampled client drops out
+    #: and never reports back.  Decided by a dedicated SeedSequence
+    #: stream (see ``fl.executor.client_drops``), so dropout patterns
+    #: are reproducible and worker-count-independent.
+    drop_rate: float = 0.0
+    #: Fraction of the sampled cohort that must report before the round
+    #: closes.  Completions beyond the threshold are stragglers: their
+    #: results are recorded in the CostMeter and discarded.  1.0 = wait
+    #: for everyone (the pre-fleet default).
+    completion_threshold: float = 1.0
     #: Compute-plane precision: "float64" (bitwise reproduction
     #: default) or "float32" (half the memory traffic and upload
     #: bytes; see repro.nn.dtypes).
@@ -63,6 +78,27 @@ class FLConfig:
         if self.workers < 0:
             raise ValueError(
                 f"workers must be >= 0, got {self.workers}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], "
+                f"got {self.sample_fraction}")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if not 0.0 < self.completion_threshold <= 1.0:
+            raise ValueError(
+                f"completion_threshold must be in (0, 1], "
+                f"got {self.completion_threshold}")
+        # A round closes when completion_threshold of the cohort has
+        # reported, but (1 - drop_rate) of the cohort completes in
+        # expectation — a threshold above that is unsatisfiable on
+        # average and the run would die mid-flight instead of here.
+        if self.completion_threshold > 1.0 - self.drop_rate + 1e-12:
+            raise ValueError(
+                f"completion_threshold={self.completion_threshold} is not "
+                f"satisfiable under drop_rate={self.drop_rate}: only "
+                f"{1.0 - self.drop_rate:.3g} of the cohort completes in "
+                f"expectation; lower the threshold or the drop rate")
         if self.dtype not in ("float32", "float64"):
             raise ValueError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}")

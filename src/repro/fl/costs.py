@@ -24,6 +24,13 @@ class CostReport:
     client_train_rounds: int = 0
     server_rounds: int = 0
     defense_state_bytes: int = 0
+    # Fleet-plane participation accounting, summed across rounds:
+    # every sampled client ends up in exactly one of the other three
+    # buckets (completed / dropped / straggled).
+    clients_sampled: int = 0
+    clients_completed: int = 0
+    clients_dropped: int = 0
+    clients_straggled: int = 0
 
     @property
     def train_seconds_per_round(self) -> float:
@@ -39,6 +46,19 @@ class CostReport:
         if self.server_rounds == 0:
             return 0.0
         return self.server_aggregate_seconds / self.server_rounds
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of sampled client slots that completed their round."""
+        if self.clients_sampled == 0:
+            return 0.0
+        return self.clients_completed / self.clients_sampled
+
+    def participation_summary(self) -> str:
+        """One-line fleet participation digest for run summaries."""
+        return (f"{self.clients_completed}/{self.clients_sampled} "
+                f"completed (dropped {self.clients_dropped}, "
+                f"stragglers {self.clients_straggled})")
 
 
 class CostMeter:
@@ -93,6 +113,37 @@ class CostMeter:
         self.report.client_train_seconds += train_seconds
         self.report.client_defense_seconds += defense_seconds
         self.report.client_train_rounds += 1
+
+    def merge_server_round(self, seconds: float) -> None:
+        """Fold one round's server-side reduction time into this meter.
+
+        The streaming aggregate interleaves with client execution (the
+        server folds each update as it arrives), so the server can no
+        longer wrap the whole round in one timer without also counting
+        client training.  It times each fold/drain individually and
+        merges the total here, which counts one server round.
+        """
+        if seconds < 0:
+            raise ValueError(f"round timing must be >= 0, got {seconds}")
+        self.report.server_aggregate_seconds += seconds
+        self.report.server_rounds += 1
+
+    def record_participation(self, *, sampled: int, completed: int,
+                             dropped: int, stragglers: int) -> None:
+        """Fold one round's fleet participation counts into this meter."""
+        counts = (sampled, completed, dropped, stragglers)
+        if any(c < 0 for c in counts):
+            raise ValueError(
+                f"participation counts must be >= 0, got {counts}")
+        if completed + dropped + stragglers != sampled:
+            raise ValueError(
+                f"participation counts must partition the cohort: "
+                f"{completed} completed + {dropped} dropped + "
+                f"{stragglers} stragglers != {sampled} sampled")
+        self.report.clients_sampled += sampled
+        self.report.clients_completed += completed
+        self.report.clients_dropped += dropped
+        self.report.clients_straggled += stragglers
 
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""

@@ -48,8 +48,9 @@ is proven free of scratch state.
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -79,6 +80,29 @@ def round_rng(seed: int, round_index: int,
     return np.random.default_rng(sequence)
 
 
+#: Spawn-key tag of the dropout stream.  round_rng uses 2-element
+#: spawn keys, so any 3-element key is a disjoint stream; the tag
+#: keeps future per-cell streams from colliding with this one.
+_DROPOUT_KEY = 0xD20
+
+
+def client_drops(seed: int, round_index: int, client_id: int,
+                 drop_rate: float) -> bool:
+    """Whether one ``(round, client)`` cell drops out of its round.
+
+    The decision draws from a dedicated SeedSequence stream of the
+    cell — not from ``round_rng`` — so enabling dropout never perturbs
+    training draws, and the dropout pattern is a pure function of
+    ``(seed, round, client, drop_rate)``: reproducible, independent of
+    worker count and of every other client.
+    """
+    if drop_rate <= 0.0:
+        return False
+    sequence = np.random.SeedSequence(
+        seed, spawn_key=(int(round_index), int(client_id), _DROPOUT_KEY))
+    return float(np.random.default_rng(sequence).random()) < drop_rate
+
+
 @dataclass
 class ClientTask:
     """Everything one client needs to run one round, picklable."""
@@ -91,6 +115,9 @@ class ClientTask:
     client_state: Any = None
     #: Round-shared defense state (``Defense.export_round_state``).
     round_state: Any = None
+    #: Injected dropout: a dropped client never trains and never
+    #: produces a result (see :func:`client_drops`).
+    dropped: bool = False
 
 
 @dataclass
@@ -141,15 +168,30 @@ def execute_client_task(client: "FLClient", defense: "Defense",
 
 
 class RoundExecutor:
-    """Runs one FL round's cohort of client tasks."""
+    """Runs one FL round's cohort of client tasks.
+
+    The primitive is :meth:`iter_round`: results stream back one at a
+    time, **always in cohort (task) order**, with dropped tasks
+    skipped.  Streaming in a fixed order is what lets the server fold
+    updates into its constant-memory accumulator as they arrive while
+    staying bitwise independent of the executor — and it makes round
+    closing lazy: a consumer that stops iterating once its completion
+    threshold is met never pays for the stragglers it will discard
+    (the serial executor literally never trains them).
+    """
 
     #: How many OS processes this executor trains clients on.
     workers: int = 1
 
+    def iter_round(self, tasks: Sequence[ClientTask]
+                   ) -> Iterator[ClientRoundResult]:
+        """Yield each non-dropped task's result, in task order."""
+        raise NotImplementedError
+
     def run_round(self, tasks: Sequence[ClientTask]
                   ) -> list[ClientRoundResult]:
         """Execute every task, returning results in task order."""
-        raise NotImplementedError
+        return list(self.iter_round(tasks))
 
     def close(self) -> None:
         """Release any held resources (idempotent)."""
@@ -167,13 +209,13 @@ class SerialExecutor(RoundExecutor):
         self.defense = defense
         self.layout = layout
 
-    def run_round(self, tasks: Sequence[ClientTask]
-                  ) -> list[ClientRoundResult]:
-        return [
-            execute_client_task(self.clients[task.client_id],
-                                self.defense, self.layout, task)
-            for task in tasks
-        ]
+    def iter_round(self, tasks: Sequence[ClientTask]
+                   ) -> Iterator[ClientRoundResult]:
+        for task in tasks:
+            if task.dropped:
+                continue
+            yield execute_client_task(self.clients[task.client_id],
+                                      self.defense, self.layout, task)
 
 
 # ----------------------------------------------------------------------
@@ -251,22 +293,43 @@ class ParallelExecutor(RoundExecutor):
             )
         return self._pool
 
-    def run_round(self, tasks: Sequence[ClientTask]
-                  ) -> list[ClientRoundResult]:
+    def iter_round(self, tasks: Sequence[ClientTask]
+                   ) -> Iterator[ClientRoundResult]:
+        """imap-style streaming: yield results in task order.
+
+        All non-dropped tasks are submitted up front; completions are
+        collected as they happen (``as_completed``) into a reorder
+        buffer and released strictly in task order, so a consumer sees
+        exactly the serial executor's stream.  A consumer that stops
+        early (round closed at its completion threshold) triggers the
+        ``finally`` below, which cancels every not-yet-started future —
+        in-flight stragglers finish in their workers and are discarded.
+        """
         pool = self._ensure_pool()
-        futures = [pool.submit(_run_in_worker, task) for task in tasks]
-        results: list[ClientRoundResult] = []
-        for task, future in zip(tasks, futures):
-            try:
-                results.append(future.result())
-            except BrokenProcessPool as exc:
-                self.close()
-                raise RuntimeError(
-                    f"a worker process died while training client "
-                    f"{task.client_id} in round {task.round_index} "
-                    "(killed or crashed hard); the pool has been shut "
-                    "down and the round aborted") from exc
-        return results
+        live = [task for task in tasks if not task.dropped]
+        futures = {pool.submit(_run_in_worker, task): index
+                   for index, task in enumerate(live)}
+        buffered: dict[int, ClientRoundResult] = {}
+        next_index = 0
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    buffered[index] = future.result()
+                except BrokenProcessPool as exc:
+                    self.close()
+                    task = live[index]
+                    raise RuntimeError(
+                        f"a worker process died while training client "
+                        f"{task.client_id} in round {task.round_index} "
+                        "(killed or crashed hard); the pool has been "
+                        "shut down and the round aborted") from exc
+                while next_index in buffered:
+                    yield buffered.pop(next_index)
+                    next_index += 1
+        finally:
+            for future in futures:
+                future.cancel()
 
     def warm_up(self) -> None:
         self._ensure_pool()

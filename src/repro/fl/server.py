@@ -1,29 +1,49 @@
-"""FL server: client selection and defended aggregation.
+"""FL server: client selection and defended streaming aggregation.
 
-Store-native: the global model lives as a
-:class:`~repro.nn.store.WeightStore`, each round's cohort updates land
-as rows of one pooled :class:`~repro.fl.aggregation.UpdateBatch`
-matrix (allocated once, reused every round), and aggregation is a
-vectorized column reduction over that matrix.
+Store-native and fleet-ready: the global model lives as a
+:class:`~repro.nn.store.WeightStore`, and :meth:`FLServer.aggregate`
+consumes an **iterator** of client updates, folding each arrival into a
+constant-memory :class:`~repro.fl.aggregation.StreamingAccumulator` the
+moment it lands.  Aggregation-side memory is therefore independent of
+cohort size — the property that makes fleet-scale rounds (thousands of
+sampled clients) possible.
+
+Cohort selection is two-staged: ``clients_per_round`` picks the
+candidate pool (the pre-fleet behavior, drawn from the server RNG so
+existing trajectories are untouched), then ``sample_fraction``
+sub-samples it cfraction-style from a dedicated per-round stream.
+
+The dense :class:`~repro.fl.aggregation.UpdateBatch` survives only as
+the fallback for ``requires_dense`` aggregation rules (order statistics
+such as trimmed mean); :meth:`FLServer._collect` pre-sizes it to the
+cohort and the batch's ``client_cap`` guards against accidentally
+materializing a fleet.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.fl.aggregation import (
+    StreamingAccumulator,
     UpdateBatch,
-    fedavg,
     scale_weights,
-    sum_updates,
 )
 from repro.fl.client import ClientUpdate
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
 from repro.nn.store import Layout, WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
+
+#: Spawn-key tag of the per-round cohort sub-sampling stream.  Kept
+#: disjoint from every existing stream family (sim ``(seed)``, cells
+#: ``(seed, round, client)``, server ``(seed, 2)``, round-start defense
+#: ``(seed, 3, round)``), so enabling ``sample_fraction`` perturbs no
+#: pre-fleet draw.
+_SAMPLE_STREAM = 5
 
 
 class FLServer:
@@ -39,50 +59,135 @@ class FLServer:
         self.cost_meter = cost_meter or CostMeter()
         self._momentum_buffer: WeightStore | None = None
         self._batch: UpdateBatch | None = None
+        self._accumulator: StreamingAccumulator | None = None
 
     def select_clients(self, round_index: int) -> list[int]:
-        """Choose the participating cohort for one round."""
+        """Choose the participating cohort for one round.
+
+        ``clients_per_round`` caps the candidate pool exactly as
+        before (same server-RNG draws, so pre-fleet cohorts are
+        unchanged); ``sample_fraction`` then sub-samples that pool
+        from a dedicated ``(seed, 5, round)`` stream.
+        """
         n = self.config.num_clients
         k = self.config.clients_per_round or n
         if k >= n:
-            return list(range(n))
-        chosen = self.rng.choice(n, size=k, replace=False)
-        return sorted(int(c) for c in chosen)
+            cohort = list(range(n))
+        else:
+            chosen = self.rng.choice(n, size=k, replace=False)
+            cohort = sorted(int(c) for c in chosen)
+        fraction = self.config.sample_fraction
+        if fraction < 1.0:
+            m = max(1, int(fraction * len(cohort)))
+            sampler = np.random.default_rng(
+                (self.config.seed, _SAMPLE_STREAM, round_index))
+            picked = sampler.choice(len(cohort), size=m, replace=False)
+            cohort = sorted(cohort[int(i)] for i in picked)
+        return cohort
 
     def _collect(self, updates: Sequence[ClientUpdate]) -> UpdateBatch:
-        """Copy the cohort's updates into the pooled row matrix."""
+        """Copy the cohort's updates into the pooled dense row matrix.
+
+        This is the ``requires_dense`` fallback path only; the batch is
+        pre-sized to the cohort (no doubling copies mid-round) and its
+        ``client_cap`` refuses fleet-scale cohorts.
+        """
         first = updates[0].weights
         layout = first.layout if isinstance(first, WeightStore) \
             else Layout.from_layers(first)
         if self._batch is None or self._batch.layout != layout:
-            self._batch = UpdateBatch(layout, capacity=len(updates))
+            self._batch = UpdateBatch(layout,
+                                      capacity=max(1, len(updates)))
+        else:
+            self._batch.ensure_capacity(len(updates))
         self._batch.reset()
         for update in updates:
             self._batch.add(update.weights)
         return self._batch
 
-    def aggregate(self, updates: Sequence[ClientUpdate]) -> WeightStore:
-        """FedAvg the cohort's updates and apply the server-side defense.
+    def _acc(self) -> StreamingAccumulator:
+        """The lazily created, round-reused streaming accumulator."""
+        layout = self.global_weights.layout
+        if self._accumulator is None or self._accumulator.layout != layout:
+            self._accumulator = StreamingAccumulator(layout)
+        return self._accumulator
+
+    def aggregate(self, updates: Iterable[ClientUpdate], *,
+                  expected: int | None = None,
+                  total_samples: float | None = None) -> WeightStore:
+        """FedAvg the arriving updates and apply the server-side defense.
+
+        ``updates`` may be any iterable — in fleet rounds the
+        simulation passes a lazy generator and each update is folded
+        into the streaming accumulator as the executor yields it, so
+        no dense ``(clients, params)`` matrix ever exists.
+
+        ``total_samples`` is the mixing total of the round's completion
+        set; when the caller knows it up front (the round-closing
+        policy fixes the completion set before aggregation starts) the
+        accumulator folds pre-normalized coefficients and reproduces
+        the dense FedAvg reduction exactly.  For a plain sequence it is
+        computed here; for an iterator without it, the drained sum is
+        normalized by the observed weight total (one extra rounding).
 
         With a ``pre_weighted`` defense (secure aggregation) clients
         transmit ``num_samples * weights + mask``; the masks cancel in
-        the plain sum, so dividing by the total sample count recovers
-        exactly the FedAvg result without the server ever seeing an
-        individual update in the clear.
+        the plain sum, so dividing by the total sample count of the
+        updates *actually folded* recovers exactly the FedAvg result
+        without the server ever seeing an individual update in the
+        clear.  ``expected`` is the sampled cohort size: a
+        ``requires_full_cohort`` defense refuses to finalize when
+        fewer updates arrived, because the pairwise masks of the
+        missing clients would not cancel and the drained sum would be
+        silently corrupt.
         """
-        if not updates:
+        pre = self.defense.pre_weighted
+        if isinstance(updates, Sequence):
+            if not updates:
+                raise ValueError("no updates to aggregate")
+            if not pre and total_samples is None:
+                total_samples = float(
+                    sum(u.num_samples for u in updates))
+        start = time.perf_counter()
+        accumulator = self._acc()
+        accumulator.reset(
+            total_weight=None if pre else total_samples)
+        reduce_seconds = time.perf_counter() - start
+        folded = 0
+        samples_total = 0.0
+        for update in updates:
+            start = time.perf_counter()
+            accumulator.fold(
+                update.weights,
+                weight=1.0 if pre else float(update.num_samples))
+            reduce_seconds += time.perf_counter() - start
+            folded += 1
+            samples_total += float(update.num_samples)
+        if folded == 0:
             raise ValueError("no updates to aggregate")
-        with self.cost_meter.server_aggregation():
-            batch = self._collect(updates)
-            if self.defense.pre_weighted:
-                total = float(sum(u.num_samples for u in updates))
-                aggregated = scale_weights(sum_updates(batch), 1.0 / total)
-            else:
-                aggregated = fedavg(
-                    batch, [u.num_samples for u in updates])
-            aggregated = self._apply_server_momentum(aggregated)
-            aggregated = as_store(
-                self.defense.on_aggregate(aggregated, self.rng))
+        if self.defense.requires_full_cohort and expected is not None \
+                and folded != expected:
+            raise RuntimeError(
+                f"{type(self.defense).__name__} requires the full "
+                f"cohort: {folded} of {expected} sampled clients "
+                f"reported, so the pairwise masks do not cancel and "
+                f"the aggregate would be corrupt")
+        start = time.perf_counter()
+        if pre:
+            if samples_total <= 0:
+                raise ValueError("total sample count must be positive")
+            aggregated = scale_weights(accumulator.drain(),
+                                       1.0 / samples_total)
+        elif total_samples is not None:
+            aggregated = accumulator.drain()
+        else:
+            aggregated = scale_weights(accumulator.drain(),
+                                       1.0 / accumulator.weight_sum)
+        aggregated = self._apply_server_momentum(aggregated)
+        aggregated = as_store(
+            self.defense.on_aggregate(aggregated, self.rng))
+        reduce_seconds += time.perf_counter() - start
+        self.cost_meter.merge_server_round(reduce_seconds)
         self.global_weights = aggregated
         return aggregated
 

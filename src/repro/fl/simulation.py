@@ -13,6 +13,13 @@ The simulation ships each client's round state through the executor
 explicitly — global weights out, update/personal weights and defense
 state back — and merges the returned cost/traffic deltas, so no
 client-side object is mutated behind the orchestrator's back.
+
+Rounds are **streaming**: executor results are consumed lazily and
+folded straight into the server's constant-memory accumulator, and the
+fleet knobs (``sample_fraction``, ``drop_rate``,
+``completion_threshold``) turn the round loop into a partial-
+participation, straggler-tolerant pipeline whose defaults reproduce
+the pre-fleet trajectories bitwise (see :meth:`run_round`).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.data.partition import (
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
-from repro.fl.executor import ClientTask, make_executor
+from repro.fl.executor import ClientTask, client_drops, make_executor
 from repro.fl.network import NetworkModel, TrafficMeter, dense_nbytes
 from repro.fl.server import FLServer
 from repro.nn.metrics import accuracy
@@ -48,6 +55,15 @@ class RoundRecord:
     global_accuracy: float
     mean_client_accuracy: float
     participating: list[int]
+    #: Fleet participation: the sampled cohort partitions into clients
+    #: whose updates were folded (``completed``), clients that dropped
+    #: out before reporting (``dropped``), and survivors that reported
+    #: after the round had already closed (``stragglers``, discarded).
+    #: At default fleet settings completed == participating and the
+    #: other two are empty.
+    completed: list[int] = field(default_factory=list)
+    dropped: list[int] = field(default_factory=list)
+    stragglers: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -83,6 +99,16 @@ class FederatedSimulation:
         self.model_factory = model_factory
         self.config = config
         self.defense = defense or Defense()
+        if self.defense.requires_full_cohort and (
+                config.drop_rate > 0.0
+                or config.completion_threshold < 1.0):
+            raise ValueError(
+                f"{type(self.defense).__name__} requires the full "
+                f"cohort (pairwise masks do not cancel with missing "
+                f"clients) but drop_rate={config.drop_rate} / "
+                f"completion_threshold={config.completion_threshold} "
+                f"permit short rounds; use drop_rate=0 and "
+                f"completion_threshold=1.0, or a different defense")
         self.cost_meter = CostMeter()
         self.traffic_meter = TrafficMeter(network)
         self.rng = np.random.default_rng(config.seed)
@@ -146,11 +172,39 @@ class FederatedSimulation:
         return self.history
 
     def run_round(self, round_index: int) -> RoundRecord | None:
-        """Execute a single FL round; returns the record if evaluated."""
+        """Execute a single FL round; returns the record if evaluated.
+
+        Fleet-plane round closing: the sampled cohort's dropouts are
+        decided up front from their dedicated per-cell streams, the
+        round closes once ``completion_threshold`` of the cohort has
+        reported (cohort order models arrival order), and survivors
+        beyond that point are stragglers whose results are discarded.
+        Because the executor streams lazily and the server folds each
+        update on arrival, a dense per-cohort update matrix never
+        exists and the serial executor never even trains a straggler.
+        """
+        config = self.config
         cohort = self.server.select_clients(round_index)
+        dropped = [cid for cid in cohort
+                   if client_drops(config.seed, round_index, cid,
+                                   config.drop_rate)]
+        dropped_set = set(dropped)
+        survivors = [cid for cid in cohort if cid not in dropped_set]
+        needed = max(1, math.ceil(
+            config.completion_threshold * len(cohort)))
+        if len(survivors) < needed:
+            raise RuntimeError(
+                f"round {round_index} cannot close: {len(survivors)} of "
+                f"{len(cohort)} sampled clients completed but "
+                f"completion_threshold={config.completion_threshold} "
+                f"requires {needed}; lower the threshold or the "
+                f"drop rate")
+        completed = survivors[:needed]
+        stragglers = survivors[needed:]
+
         self.defense.on_round_start(
             round_index, cohort, self.server.global_weights,
-            np.random.default_rng((self.config.seed, 3, round_index)))
+            np.random.default_rng((config.seed, 3, round_index)))
         download_bytes = dense_nbytes(self.server.global_weights)
         global_store = as_store(self.server.global_weights)
         round_state = self.defense.export_round_state()
@@ -161,39 +215,58 @@ class FederatedSimulation:
                 global_buffer=global_store.buffer,
                 client_state=self.defense.export_client_state(cid),
                 round_state=round_state,
+                dropped=cid in dropped_set,
             )
             for cid in cohort
         ]
-        results = self.executor.run_round(tasks)
 
-        updates = []
-        for result in results:
-            self.defense.import_client_state(
-                result.client_id, result.client_state)
-            client = self.clients[result.client_id]
-            client.personal_weights = WeightStore(
-                self._layout, result.personal_buffer)
-            self.cost_meter.merge_client_round(
-                result.train_seconds, result.defense_seconds)
-            self.cost_meter.record_defense_state(
-                result.defense_state_bytes)
-            update = ClientUpdate(
-                client_id=result.client_id,
-                weights=WeightStore(self._layout, result.update_buffer),
-                num_samples=result.num_samples,
-                train_seconds=result.train_seconds,
-                defense_seconds=result.defense_seconds,
-            )
-            updates.append(update)
-            self.last_updates[update.client_id] = update.weights
-            self.traffic_meter.record_exchange(
-                round_index, update.client_id, download_bytes,
-                self.defense.upload_nbytes(update.weights))
+        def stream_updates():
+            """Yield each completing client's update, closing the
+            round (and abandoning the executor's stream) once the
+            threshold is met."""
+            folded = 0
+            for result in self.executor.iter_round(tasks):
+                self.defense.import_client_state(
+                    result.client_id, result.client_state)
+                client = self.clients[result.client_id]
+                client.personal_weights = WeightStore(
+                    self._layout, result.personal_buffer)
+                self.cost_meter.merge_client_round(
+                    result.train_seconds, result.defense_seconds)
+                self.cost_meter.record_defense_state(
+                    result.defense_state_bytes)
+                update = ClientUpdate(
+                    client_id=result.client_id,
+                    weights=WeightStore(self._layout,
+                                        result.update_buffer),
+                    num_samples=result.num_samples,
+                    train_seconds=result.train_seconds,
+                    defense_seconds=result.defense_seconds,
+                )
+                self.last_updates[update.client_id] = update.weights
+                self.traffic_meter.record_exchange(
+                    round_index, update.client_id, download_bytes,
+                    self.defense.upload_nbytes(update.weights))
+                yield update
+                folded += 1
+                if folded >= needed:
+                    break
+
+        # The completion set is fixed before aggregation starts, so the
+        # mixing total is known up front and the streaming accumulator
+        # folds pre-normalized coefficients — reproducing the dense
+        # FedAvg reduction exactly (see fl.aggregation).
+        total_samples = float(sum(
+            self.clients[cid].num_samples for cid in completed))
+        self.server.aggregate(stream_updates(), expected=len(cohort),
+                              total_samples=total_samples)
         # The parent's defense holds the merged per-client state, so
         # its memory footprint is authoritative (worker copies only
         # ever see one client's slice).
         self.cost_meter.record_defense_state(self.defense.state_bytes())
-        self.server.aggregate(updates)
+        self.cost_meter.record_participation(
+            sampled=len(cohort), completed=len(completed),
+            dropped=len(dropped), stragglers=len(stragglers))
 
         if (round_index + 1) % self.config.eval_every and \
                 round_index + 1 != self.config.rounds:
@@ -203,6 +276,9 @@ class FederatedSimulation:
             global_accuracy=self.global_accuracy(),
             mean_client_accuracy=self.mean_client_accuracy(),
             participating=cohort,
+            completed=completed,
+            dropped=dropped,
+            stragglers=stragglers,
         )
         self.history.records.append(record)
         return record

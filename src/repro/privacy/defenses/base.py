@@ -55,6 +55,15 @@ class Defense:
     #: the transmission protocol of secure aggregation.
     pre_weighted = False
 
+    #: When True the round may only aggregate if *every* sampled client
+    #: reported back: the defense's correctness depends on the complete
+    #: cohort (secure aggregation's pairwise masks only cancel when both
+    #: endpoints of every pair are summed).  The simulation rejects
+    #: dropout/partial-completion configs up front and the server
+    #: refuses to finalize a short round rather than silently corrupt
+    #: the aggregate.
+    requires_full_cohort = False
+
     def on_round_start(self, round_index: int, client_ids: Sequence[int],
                        template: WeightsLike,
                        rng: np.random.Generator) -> None:

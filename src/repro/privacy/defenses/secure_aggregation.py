@@ -34,6 +34,12 @@ class SecureAggregation(Defense):
 
     name = "sa"
     pre_weighted = True
+    # Pairwise masks only cancel when both endpoints of every pair make
+    # it into the sum: a missing client leaves its partners' masks
+    # un-cancelled and the aggregate silently corrupt.  Declaring it
+    # lets the fleet plane reject dropout configs before any mask is
+    # ever negotiated.
+    requires_full_cohort = True
 
     def __init__(self, *, mask_scale: float = 50.0) -> None:
         if mask_scale <= 0:
