@@ -27,6 +27,8 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_table
 from repro.data import available_datasets
+from repro.fl.aggregation import AGGREGATOR_CHOICES
+from repro.fl.behavior import BEHAVIOR_CHOICES
 from repro.fl.config import FLConfig
 
 DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
@@ -71,6 +73,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="compute-plane precision (float64 is the "
                           "bitwise reproduction default; float32 "
                           "halves memory traffic and upload bytes)")
+    run.add_argument("--aggregator", default="fedavg",
+                     choices=list(AGGREGATOR_CHOICES),
+                     help="server aggregation rule (fedavg streams in "
+                          "constant memory; trimmed_mean, "
+                          "coordinate_median and clustered are "
+                          "Byzantine-robust order statistics over the "
+                          "dense update matrix)")
+    run.add_argument("--adversary", default="none",
+                     choices=list(BEHAVIOR_CHOICES),
+                     help="adversarial client behavior (byzantine = "
+                          "boosted sign-flip; see also "
+                          "byzantine_gaussian, label_flip, free_rider)")
+    run.add_argument("--adversary-fraction", type=float, default=0.0,
+                     help="fraction of clients that are adversarial; "
+                          "which ids is a seeded pure function of the "
+                          "config (default 0.0)")
     run.add_argument("--alpha", type=float, default=math.inf,
                      help="Dirichlet non-IID alpha (default IID)")
     run.add_argument("--samples", type=int, default=None,
@@ -103,6 +121,9 @@ def _config_from_args(args) -> FLConfig:
         drop_rate=args.drop_rate,
         completion_threshold=args.completion_threshold,
         dtype=args.dtype,
+        aggregator=args.aggregator,
+        adversary=args.adversary,
+        adversary_fraction=args.adversary_fraction,
     )
 
 
@@ -126,6 +147,9 @@ def _cmd_run(args) -> int:
             ["defense extra state",
              f"{costs.defense_state_bytes / 1024:.0f} KiB"],
             ["fleet participation", costs.participation_summary()],
+            ["robustness",
+             f"{args.aggregator} aggregator, "
+             f"{result.simulation.behavior.describe()} clients"],
         ],
         title=f"{args.dataset} under {args.defense} "
               f"({args.attack} attack; 50% AUC is optimal)"))

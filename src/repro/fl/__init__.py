@@ -8,10 +8,18 @@ hook interface in :mod:`repro.privacy.defenses.base`.
 """
 
 from repro.fl.aggregation import (
+    AGGREGATOR_CHOICES,
     StreamingAccumulator,
+    clustered_mean,
     coordinate_median,
     fedavg,
     trimmed_mean,
+)
+from repro.fl.behavior import (
+    BEHAVIOR_CHOICES,
+    ClientBehavior,
+    make_behavior,
+    select_adversaries,
 )
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
@@ -20,6 +28,9 @@ from repro.fl.server import FLServer
 from repro.fl.simulation import FederatedSimulation, History, RoundRecord
 
 __all__ = [
+    "AGGREGATOR_CHOICES",
+    "BEHAVIOR_CHOICES",
+    "ClientBehavior",
     "ClientUpdate",
     "CostMeter",
     "CostReport",
@@ -30,7 +41,10 @@ __all__ = [
     "History",
     "RoundRecord",
     "StreamingAccumulator",
+    "clustered_mean",
     "coordinate_median",
     "fedavg",
+    "make_behavior",
+    "select_adversaries",
     "trimmed_mean",
 ]

@@ -368,6 +368,101 @@ def coordinate_median(updates: Updates) -> WeightStore:
     return WeightStore(layout, np.median(matrix, axis=0))
 
 
+#: Minimum cohort for norm clustering to act; below this the distance
+#: multiset is too small to separate and :func:`clustered_mean` falls
+#: back to keeping every row (documented fallback, not an error).
+CLUSTER_MIN_COHORT = 4
+
+#: Separation factor for the norm clusters: the far cluster is only
+#: discarded when its mean distance exceeds this multiple of the near
+#: cluster's, so a homogeneous honest cohort is never filtered.
+CLUSTER_SEPARATION = 2.0
+
+
+def _cluster_distances(matrix: np.ndarray) -> np.ndarray:
+    """Each row's L2 distance to the coordinate-median center, chunked
+    over columns so no ``(clients, params)`` temporary is allocated."""
+    center = np.median(matrix, axis=0)
+    sq = np.zeros(len(matrix))
+    for lo in range(0, matrix.shape[1], REDUCE_CHUNK):
+        hi = min(lo + REDUCE_CHUNK, matrix.shape[1])
+        diff = matrix[:, lo:hi] - center[lo:hi]
+        sq += np.einsum("ip,ip->i", diff, diff)
+    return np.sqrt(sq)
+
+
+def _norm_cluster_keep(dist: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask from deterministic 1-D 2-means over distances.
+
+    Centers initialize at the min/max distance and iterate to a fixed
+    point; the computation depends only on the distance *multiset*, so
+    the mask is client-permutation-equivariant.  The far cluster is
+    dropped only when clearly separated (``CLUSTER_SEPARATION``);
+    otherwise everything is kept.
+    """
+    n = len(dist)
+    keep_all = np.ones(n, dtype=bool)
+    near, far = float(dist.min()), float(dist.max())
+    if not far > CLUSTER_SEPARATION * near + 1e-12:
+        return keep_all
+    for _ in range(32):
+        mask = np.abs(dist - near) <= np.abs(dist - far)
+        if mask.all() or not mask.any():
+            return keep_all
+        new_near = float(dist[mask].mean())
+        new_far = float(dist[~mask].mean())
+        if new_near == near and new_far == far:
+            break
+        near, far = new_near, new_far
+    if not far > CLUSTER_SEPARATION * near + 1e-12:
+        return keep_all
+    return mask
+
+
+def clustered_mean(updates: Updates,
+                   num_samples: Sequence[int] | None = None, *,
+                   diagnostics: dict | None = None) -> WeightStore:
+    """Norm-clustering robust mean over flat update rows (extension).
+
+    Cheap now that updates are contiguous ``(clients, params)`` rows:
+    compute each row's distance to the coordinate-median center,
+    2-means-cluster the distance multiset, discard the far cluster
+    when it is clearly separated, and FedAvg the kept rows (sample-
+    weighted when ``num_samples`` is given).  Cohorts smaller than
+    ``CLUSTER_MIN_COHORT`` keep every row.
+
+    ``diagnostics``, when passed, receives ``kept`` / ``filtered``
+    (row indices) and ``distances`` — this is how the server reports
+    *which* clients a robustness filter rejected, the observable the
+    DINAR-looks-byzantine question hinges on.
+    """
+    matrix, layout = _as_matrix(updates)
+    n = len(matrix)
+    if num_samples is not None and len(num_samples) != n:
+        raise ValueError(f"{n} updates vs "
+                         f"{len(num_samples)} sample counts")
+    dist = _cluster_distances(matrix)
+    if n < CLUSTER_MIN_COHORT:
+        keep = np.ones(n, dtype=bool)
+    else:
+        keep = _norm_cluster_keep(dist)
+    kept = np.flatnonzero(keep)
+    if diagnostics is not None:
+        diagnostics["kept"] = [int(i) for i in kept]
+        diagnostics["filtered"] = [int(i) for i in np.flatnonzero(~keep)]
+        diagnostics["distances"] = dist
+    sub = matrix[kept]
+    if num_samples is None:
+        coeffs = np.full(len(kept), 1.0 / len(kept))
+    else:
+        counts = np.asarray(num_samples, dtype=np.float64)[kept]
+        total = float(counts.sum())
+        if total <= 0:
+            raise ValueError("total sample count must be positive")
+        coeffs = counts / total
+    return WeightStore(layout, _weighted_colsum(sub, coeffs))
+
+
 # ----------------------------------------------------------------------
 # rule capabilities
 # ----------------------------------------------------------------------
@@ -381,6 +476,7 @@ fedavg.requires_dense = False
 sum_updates.requires_dense = False
 trimmed_mean.requires_dense = True
 coordinate_median.requires_dense = True
+clustered_mean.requires_dense = True
 
 #: Rule name -> callable, with the capability attributes above.
 AGGREGATION_RULES = {
@@ -388,7 +484,14 @@ AGGREGATION_RULES = {
     "sum": sum_updates,
     "trimmed_mean": trimmed_mean,
     "coordinate_median": coordinate_median,
+    "clustered": clustered_mean,
 }
+
+#: ``FLConfig.aggregator`` / ``--aggregator`` choices: every registry
+#: rule a user can pick end-to-end ("sum" is secure aggregation's
+#: internal server step, not a standalone aggregator).
+AGGREGATOR_CHOICES = ("fedavg", "trimmed_mean", "coordinate_median",
+                      "clustered")
 
 
 def requires_dense(rule) -> bool:

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.data.loader import iterate_batches
 from repro.data.synthetic import Dataset
+from repro.fl.behavior import ClientBehavior, behavior_rng
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
 from repro.fl.executor import round_rng
@@ -92,7 +93,8 @@ class FLClient:
 
     def train_round(self, global_weights: WeightsLike,
                     round_index: int, *,
-                    rng: np.random.Generator | None = None) -> ClientUpdate:
+                    rng: np.random.Generator | None = None,
+                    behavior: ClientBehavior | None = None) -> ClientUpdate:
         """Run one FL round: personalize, train locally, protect, upload.
 
         Every source of randomness this round consumes — dropout
@@ -101,6 +103,13 @@ class FLClient:
         the round's outcome is independent of which process executes
         it and of every other client (bitwise reproducibility across
         executors).
+
+        ``behavior`` is the run's :class:`ClientBehavior`; for honest
+        clients (and for ``behavior=None``) the round is byte-for-byte
+        the pre-robustness code path.  Adversarial clients may poison
+        their training data, skip training, or corrupt the weights
+        they hand to the defense pipeline — corruption draws from the
+        cell's dedicated behavior stream, never from ``rng``.
         """
         if rng is None:
             rng = round_rng(self.config.seed, round_index, self.client_id)
@@ -110,12 +119,23 @@ class FLClient:
             self.client_id, global_weights)
         self.model.set_weights(received)
 
+        adversarial = behavior is not None \
+            and behavior.is_adversary(self.client_id)
+        start_store = self.model.get_store() if adversarial else None
+
         # The cost meter may be shared across rounds, so this round's
         # own wall time is the meter's delta around each phase — not
         # the cumulative total.
         trained_before = self.cost_meter.report.client_train_seconds
         with self.cost_meter.client_training():
-            self._train_local()
+            if adversarial:
+                if not behavior.skips_training(self.client_id):
+                    x, y = behavior.poison_data(
+                        self.client_id, self.data.x, self.data.y,
+                        self.data.num_classes)
+                    self._train_local(x, y)
+            else:
+                self._train_local(self.data.x, self.data.y)
         train_seconds = self.cost_meter.report.client_train_seconds \
             - trained_before
 
@@ -123,10 +143,17 @@ class FLClient:
         # layer intact; this is what the client uses for predictions.
         self.personal_weights = self.model.get_store()
 
+        outbound = self.model.get_store()
+        if adversarial:
+            outbound = behavior.corrupt_update(
+                self.client_id, outbound, start_store,
+                behavior_rng(self.config.seed, round_index,
+                             self.client_id))
+
         defended_before = self.cost_meter.report.client_defense_seconds
         with self.cost_meter.client_defense():
             sent = self.defense.on_send_update(
-                self.client_id, self.model.get_store(),
+                self.client_id, outbound,
                 self.num_samples, self.rng)
         defense_seconds = self.cost_meter.report.client_defense_seconds \
             - defended_before
@@ -140,7 +167,7 @@ class FLClient:
             defense_seconds=defense_seconds,
         )
 
-    def _train_local(self) -> None:
+    def _train_local(self, x: np.ndarray, y: np.ndarray) -> None:
         """Local epochs with the defense-selected optimizer.
 
         The optimizer is rebuilt each round with zeroed state, matching
@@ -148,6 +175,8 @@ class FLClient:
         With ``config.proximal_mu > 0`` a FedProx proximal term
         ``mu * (w - w_round_start)`` is added to every gradient,
         limiting client drift on non-IID shards (extension).
+        ``(x, y)`` is the client's local data — possibly poisoned by
+        an adversarial :class:`ClientBehavior`.
         """
         optimizer = self.defense.make_optimizer(
             self.model, self.config.lr, rng=self.rng)
@@ -159,7 +188,7 @@ class FLClient:
         anchor = self.model.weights.buffer.copy() if mu > 0 else None
         for _ in range(self.config.local_epochs):
             for bx, by in iterate_batches(
-                    self.data.x, self.data.y, self.config.batch_size,
+                    x, y, self.config.batch_size,
                     self.rng):
                 if notify is not None:
                     notify(len(bx))  # DP-SGD scales noise by batch size

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fl.aggregation import AGGREGATOR_CHOICES
+from repro.fl.behavior import BEHAVIOR_CHOICES
+
 
 @dataclass
 class FLConfig:
@@ -47,6 +50,20 @@ class FLConfig:
     #: default) or "float32" (half the memory traffic and upload
     #: bytes; see repro.nn.dtypes).
     dtype: str = "float64"
+    #: Server aggregation rule (see ``fl.aggregation``): "fedavg"
+    #: streams in constant memory (the default, bitwise-pinned);
+    #: "trimmed_mean" / "coordinate_median" / "clustered" are
+    #: Byzantine-robust order statistics over the dense
+    #: ``(clients, params)`` update matrix (``requires_dense``,
+    #: cohort-capped — see DENSE_CLIENT_CAP).
+    aggregator: str = "fedavg"
+    #: Adversarial client behavior (see ``fl.behavior``): "none"
+    #: (honest, the default), "byzantine" (boosted sign-flip),
+    #: "byzantine_gaussian", "label_flip", or "free_rider".
+    adversary: str = "none"
+    #: Fraction of clients that are adversarial; which ids is a seeded
+    #: pure function of the config (``behavior.select_adversaries``).
+    adversary_fraction: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -102,3 +119,26 @@ class FLConfig:
         if self.dtype not in ("float32", "float64"):
             raise ValueError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
+        if self.aggregator not in AGGREGATOR_CHOICES:
+            raise ValueError(
+                f"aggregator must be one of "
+                f"{', '.join(AGGREGATOR_CHOICES)}, "
+                f"got {self.aggregator!r}")
+        if self.adversary not in BEHAVIOR_CHOICES:
+            raise ValueError(
+                f"adversary must be one of "
+                f"{', '.join(BEHAVIOR_CHOICES)}, "
+                f"got {self.adversary!r}")
+        if not 0.0 <= self.adversary_fraction < 1.0:
+            raise ValueError(
+                f"adversary_fraction must be in [0, 1) — an all-"
+                f"adversarial cohort has nothing left to aggregate — "
+                f"got {self.adversary_fraction}")
+        if self.adversary != "none" and self.adversary_fraction <= 0.0:
+            raise ValueError(
+                f"adversary={self.adversary!r} needs a positive "
+                f"adversary_fraction (got {self.adversary_fraction})")
+        if self.adversary == "none" and self.adversary_fraction > 0.0:
+            raise ValueError(
+                f"adversary_fraction={self.adversary_fraction} has no "
+                f"effect with adversary='none'; pick a behavior")

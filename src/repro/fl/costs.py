@@ -31,6 +31,11 @@ class CostReport:
     clients_completed: int = 0
     clients_dropped: int = 0
     clients_straggled: int = 0
+    # Robustness-plane accounting, summed across rounds: sampled
+    # client slots held by adversarial clients, and updates a robust
+    # aggregator rejected outright (norm clustering's filter).
+    clients_adversarial: int = 0
+    clients_filtered: int = 0
 
     @property
     def train_seconds_per_round(self) -> float:
@@ -56,9 +61,13 @@ class CostReport:
 
     def participation_summary(self) -> str:
         """One-line fleet participation digest for run summaries."""
-        return (f"{self.clients_completed}/{self.clients_sampled} "
-                f"completed (dropped {self.clients_dropped}, "
-                f"stragglers {self.clients_straggled})")
+        summary = (f"{self.clients_completed}/{self.clients_sampled} "
+                   f"completed (dropped {self.clients_dropped}, "
+                   f"stragglers {self.clients_straggled})")
+        if self.clients_adversarial or self.clients_filtered:
+            summary += (f", adversarial {self.clients_adversarial}, "
+                        f"filtered {self.clients_filtered}")
+        return summary
 
 
 class CostMeter:
@@ -144,6 +153,16 @@ class CostMeter:
         self.report.clients_completed += completed
         self.report.clients_dropped += dropped
         self.report.clients_straggled += stragglers
+
+    def record_robustness(self, *, adversarial: int,
+                          filtered: int) -> None:
+        """Fold one round's adversary/filter counts into this meter."""
+        if adversarial < 0 or filtered < 0:
+            raise ValueError(
+                f"robustness counts must be >= 0, got "
+                f"{(adversarial, filtered)}")
+        self.report.clients_adversarial += adversarial
+        self.report.clients_filtered += filtered
 
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""

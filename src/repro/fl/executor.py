@@ -60,6 +60,7 @@ import numpy as np
 from repro.nn.store import Layout, WeightStore, as_store
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.fl.behavior import ClientBehavior
     from repro.fl.client import FLClient
     from repro.fl.config import FLConfig
     from repro.privacy.defenses.base import Defense
@@ -139,8 +140,9 @@ class ClientRoundResult:
 
 
 def execute_client_task(client: "FLClient", defense: "Defense",
-                        layout: Layout,
-                        task: ClientTask) -> ClientRoundResult:
+                        layout: Layout, task: ClientTask,
+                        behavior: "ClientBehavior | None" = None
+                        ) -> ClientRoundResult:
     """Run one client's round against explicit, shipped-in state.
 
     This is the single code path both executors share: import the
@@ -149,12 +151,19 @@ def execute_client_task(client: "FLClient", defense: "Defense",
     export everything the parent needs.  Running it in-process
     (serial) or in a forked worker (parallel) is therefore the *same*
     computation, bit for bit.
+
+    ``behavior`` is the run's adversarial-client behavior (see
+    ``fl.behavior``); ``None`` means every client is honest.  Because
+    behavior noise draws from its own per-``(round, client)`` stream,
+    the bitwise serial/parallel guarantee holds under every behavior
+    mix.
     """
     defense.import_round_state(task.round_state)
     defense.import_client_state(task.client_id, task.client_state)
     global_weights = WeightStore(layout, task.global_buffer)
     rng = round_rng(client.config.seed, task.round_index, task.client_id)
-    update = client.train_round(global_weights, task.round_index, rng=rng)
+    update = client.train_round(global_weights, task.round_index, rng=rng,
+                                behavior=behavior)
     return ClientRoundResult(
         client_id=task.client_id,
         update_buffer=as_store(update.weights, layout=layout).buffer,
@@ -204,10 +213,12 @@ class SerialExecutor(RoundExecutor):
     """The reference executor: clients run one after another."""
 
     def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
-                 layout: Layout) -> None:
+                 layout: Layout,
+                 behavior: "ClientBehavior | None" = None) -> None:
         self.clients = list(clients)
         self.defense = defense
         self.layout = layout
+        self.behavior = behavior
 
     def iter_round(self, tasks: Sequence[ClientTask]
                    ) -> Iterator[ClientRoundResult]:
@@ -215,7 +226,8 @@ class SerialExecutor(RoundExecutor):
             if task.dropped:
                 continue
             yield execute_client_task(self.clients[task.client_id],
-                                      self.defense, self.layout, task)
+                                      self.defense, self.layout, task,
+                                      self.behavior)
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +241,7 @@ class _WorkerContext:
     clients: list
     defense: Any
     layout: Layout
+    behavior: Any = None
 
 
 #: Bound once per worker process by the pool initializer.
@@ -248,7 +261,7 @@ def _run_in_worker(task: ClientTask) -> ClientRoundResult:
     try:
         return execute_client_task(
             context.clients[task.client_id], context.defense,
-            context.layout, task)
+            context.layout, task, context.behavior)
     except Exception as exc:
         raise RuntimeError(
             f"client {task.client_id} failed in round "
@@ -267,7 +280,8 @@ class ParallelExecutor(RoundExecutor):
     """
 
     def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
-                 layout: Layout, workers: int) -> None:
+                 layout: Layout, workers: int,
+                 behavior: "ClientBehavior | None" = None) -> None:
         if workers < 2:
             raise ValueError(
                 f"ParallelExecutor needs >= 2 workers, got {workers}; "
@@ -280,6 +294,7 @@ class ParallelExecutor(RoundExecutor):
         self.defense = defense
         self.layout = layout
         self.workers = workers
+        self.behavior = behavior
         self._pool: _PoolExecutor | None = None
 
     def _ensure_pool(self) -> _PoolExecutor:
@@ -289,7 +304,7 @@ class ParallelExecutor(RoundExecutor):
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_bind_worker_context,
                 initargs=(_WorkerContext(self.clients, self.defense,
-                                         self.layout),),
+                                         self.layout, self.behavior),),
             )
         return self._pool
 
@@ -347,13 +362,17 @@ class ParallelExecutor(RoundExecutor):
 
 
 def make_executor(clients: Sequence["FLClient"], defense: "Defense",
-                  layout: Layout, config: "FLConfig") -> RoundExecutor:
+                  layout: Layout, config: "FLConfig",
+                  behavior: "ClientBehavior | None" = None
+                  ) -> RoundExecutor:
     """Build the executor ``config.workers`` asks for.
 
     ``workers`` of 0 or 1 selects the serial reference; anything
-    larger fans out across that many worker processes.
+    larger fans out across that many worker processes.  ``behavior``
+    is the run's adversarial-client behavior (``None`` = honest).
     """
     if config.workers > 1:
         return ParallelExecutor(clients, defense, layout,
-                                workers=config.workers)
-    return SerialExecutor(clients, defense, layout)
+                                workers=config.workers,
+                                behavior=behavior)
+    return SerialExecutor(clients, defense, layout, behavior=behavior)

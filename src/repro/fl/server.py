@@ -28,9 +28,14 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.fl.aggregation import (
+    AGGREGATION_RULES,
     StreamingAccumulator,
     UpdateBatch,
+    clustered_mean,
+    coordinate_median,
+    requires_dense,
     scale_weights,
+    trimmed_mean,
 )
 from repro.fl.client import ClientUpdate
 from repro.fl.config import FLConfig
@@ -60,6 +65,20 @@ class FLServer:
         self._momentum_buffer: WeightStore | None = None
         self._batch: UpdateBatch | None = None
         self._accumulator: StreamingAccumulator | None = None
+        #: Client ids the last round's robust aggregator rejected
+        #: outright (norm clustering); empty for coordinate-wise rules
+        #: and for the streaming FedAvg path.
+        self.last_filtered: list[int] = []
+        if config.aggregator not in AGGREGATION_RULES:
+            raise ValueError(f"unknown aggregator "
+                             f"{config.aggregator!r}")
+        if requires_dense(config.aggregator) and defense.pre_weighted:
+            raise ValueError(
+                f"aggregator {config.aggregator!r} needs every client "
+                f"row in the clear, but {type(defense).__name__} "
+                f"transmits masked pre-weighted updates — order "
+                f"statistics over masked rows are meaningless; use "
+                f"aggregator='fedavg' or a non-masking defense")
 
     def select_clients(self, round_index: int) -> list[int]:
         """Choose the participating cohort for one round.
@@ -140,7 +159,16 @@ class FLServer:
         fewer updates arrived, because the pairwise masks of the
         missing clients would not cancel and the drained sum would be
         silently corrupt.
+
+        ``config.aggregator`` selects the rule.  FedAvg is this
+        streaming path (bitwise-pinned); ``requires_dense`` robust
+        rules (trimmed mean, coordinate median, norm clustering)
+        dispatch to :meth:`_aggregate_dense`, which materializes the
+        arriving updates as a cap-guarded dense matrix first.
         """
+        self.last_filtered = []
+        if requires_dense(self.config.aggregator):
+            return self._aggregate_dense(updates, expected=expected)
         pre = self.defense.pre_weighted
         if isinstance(updates, Sequence):
             if not updates:
@@ -183,13 +211,93 @@ class FLServer:
         else:
             aggregated = scale_weights(accumulator.drain(),
                                        1.0 / accumulator.weight_sum)
-        aggregated = self._apply_server_momentum(aggregated)
+        return self._finalize(aggregated, reduce_seconds, start)
+
+    def _finalize(self, aggregated: WeightsLike, reduce_seconds: float,
+                  start: float) -> WeightStore:
+        """Server momentum + server-side defense + cost accounting —
+        the tail every aggregation rule shares.  ``start`` is the
+        ``perf_counter`` stamp of the current timed span."""
+        aggregated = self._apply_server_momentum(as_store(aggregated))
         aggregated = as_store(
             self.defense.on_aggregate(aggregated, self.rng))
         reduce_seconds += time.perf_counter() - start
         self.cost_meter.merge_server_round(reduce_seconds)
         self.global_weights = aggregated
         return aggregated
+
+    def _resolve_trim(self, cohort: int) -> int:
+        """Per-side trim count for ``trimmed_mean``: explicit
+        ``config.extra['trim']`` wins, else tolerate a 25% adversarial
+        minority (``max(1, cohort // 4)``)."""
+        trim = self.config.extra.get("trim")
+        return int(trim) if trim is not None else max(1, cohort // 4)
+
+    def _aggregate_dense(self, updates: Iterable[ClientUpdate], *,
+                         expected: int | None = None) -> WeightStore:
+        """Robust (``requires_dense``) aggregation over the arriving
+        updates.
+
+        The fallback of the fleet plane: arriving updates land as rows
+        of the pooled :class:`UpdateBatch`, whose ``client_cap``
+        refuses fleet-scale cohorts up front (robust order statistics
+        cap out far below fleet scale — raise ``client_cap`` or use
+        the streaming FedAvg path).  Short cohorts — after
+        ``sample_fraction`` / dropout / straggler discard — either
+        aggregate fine (coordinate median), fall back to keeping every
+        row (norm clustering below ``CLUSTER_MIN_COHORT``), or raise a
+        clear error naming the fleet knobs (trimmed mean with nothing
+        left between the trims); never a silent shape mismatch.
+        """
+        name = self.config.aggregator
+        start = time.perf_counter()
+        layout = self.global_weights.layout
+        if self._batch is None or self._batch.layout != layout:
+            self._batch = UpdateBatch(layout)
+        batch = self._batch
+        if expected is not None:
+            batch.ensure_capacity(expected)
+        batch.reset()
+        reduce_seconds = time.perf_counter() - start
+        client_ids: list[int] = []
+        num_samples: list[int] = []
+        for update in updates:
+            start = time.perf_counter()
+            batch.add(update.weights)
+            reduce_seconds += time.perf_counter() - start
+            client_ids.append(update.client_id)
+            num_samples.append(update.num_samples)
+        n = len(batch)
+        if n == 0:
+            raise ValueError("no updates to aggregate")
+        if self.defense.requires_full_cohort and expected is not None \
+                and n != expected:
+            raise RuntimeError(
+                f"{type(self.defense).__name__} requires the full "
+                f"cohort: {n} of {expected} sampled clients reported")
+        start = time.perf_counter()
+        if name == "trimmed_mean":
+            trim = self._resolve_trim(n)
+            if 2 * trim >= n:
+                raise ValueError(
+                    f"trimmed_mean with trim={trim} needs a cohort of "
+                    f"at least {2 * trim + 1}, but only {n} update(s) "
+                    f"arrived — sample_fraction / drop_rate / "
+                    f"completion_threshold shrank the cohort below "
+                    f"the trim; lower the fleet knobs, lower "
+                    f"extra['trim'], or use coordinate_median")
+            aggregated = trimmed_mean(batch, trim=trim)
+        elif name == "coordinate_median":
+            aggregated = coordinate_median(batch)
+        elif name == "clustered":
+            diagnostics: dict = {}
+            aggregated = clustered_mean(batch, num_samples,
+                                        diagnostics=diagnostics)
+            self.last_filtered = [client_ids[i]
+                                  for i in diagnostics["filtered"]]
+        else:  # pragma: no cover - registry/choices kept in sync
+            raise ValueError(f"unknown dense aggregator {name!r}")
+        return self._finalize(aggregated, reduce_seconds, start)
 
     def _apply_server_momentum(self,
                                aggregated: WeightStore) -> WeightStore:

@@ -35,6 +35,7 @@ from repro.data.partition import (
     partition_dirichlet,
     partition_iid,
 )
+from repro.fl.behavior import make_behavior_for_config
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
@@ -64,6 +65,14 @@ class RoundRecord:
     completed: list[int] = field(default_factory=list)
     dropped: list[int] = field(default_factory=list)
     stragglers: list[int] = field(default_factory=list)
+    #: Robustness plane: the sampled cohort's adversarial clients
+    #: (per ``config.adversary`` / ``adversary_fraction``) and the
+    #: clients this round's robust aggregator rejected outright (norm
+    #: clustering only; coordinate-wise rules trim per coordinate and
+    #: never reject whole clients).  Both empty at honest/fedavg
+    #: defaults.
+    adversaries: list[int] = field(default_factory=list)
+    filtered: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -154,8 +163,13 @@ class FederatedSimulation:
             rng=np.random.default_rng((config.seed, 2)),
             cost_meter=self.cost_meter,
         )
+        # Robustness plane: which clients are adversarial is a seeded
+        # pure function of the config; HONEST keeps the training path
+        # byte-for-byte the pre-robustness code.
+        self.behavior = make_behavior_for_config(config)
         self.executor = make_executor(
-            self.clients, self.defense, self._layout, config)
+            self.clients, self.defense, self._layout, config,
+            behavior=self.behavior)
         self.last_updates: dict[int, WeightsLike] = {}
         self.history = History()
 
@@ -267,6 +281,11 @@ class FederatedSimulation:
         self.cost_meter.record_participation(
             sampled=len(cohort), completed=len(completed),
             dropped=len(dropped), stragglers=len(stragglers))
+        adversaries = sorted(
+            set(cohort) & self.behavior.adversaries)
+        filtered = list(self.server.last_filtered)
+        self.cost_meter.record_robustness(
+            adversarial=len(adversaries), filtered=len(filtered))
 
         if (round_index + 1) % self.config.eval_every and \
                 round_index + 1 != self.config.rounds:
@@ -279,6 +298,8 @@ class FederatedSimulation:
             completed=completed,
             dropped=dropped,
             stragglers=stragglers,
+            adversaries=adversaries,
+            filtered=filtered,
         )
         self.history.records.append(record)
         return record
