@@ -10,6 +10,7 @@ splits (§5.3) or Dirichlet(alpha) non-IID splits (§5.8).
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,6 +55,73 @@ def split_for_membership(dataset: Dataset, rng: np.random.Generator, *,
         attacker=dataset.subset(attacker_idx,
                                 name=f"{dataset.name}/attacker"),
     )
+
+
+@dataclass(frozen=True)
+class ClientShards:
+    """A fleet's shard assignment in CSR form: two flat arrays.
+
+    A list of per-client index arrays costs one ndarray object (~100
+    bytes of header) per client — O(num_clients) Python objects even
+    before any model exists, which is exactly what the virtual-client
+    plane forbids.  Packing the shards as one concatenated ``indices``
+    array plus an ``offsets`` array makes the whole assignment two
+    allocations whose size is O(total_samples) + O(num_clients) * 8
+    bytes, and every per-client view is a zero-copy slice.
+    """
+
+    #: All clients' sample indices, concatenated client 0 first.
+    indices: np.ndarray
+    #: ``offsets[i]:offsets[i+1]`` delimits client ``i``'s shard.
+    offsets: np.ndarray
+
+    @classmethod
+    def pack(cls, shards: Sequence[np.ndarray]) -> "ClientShards":
+        """Pack per-client index arrays (``partition_iid`` /
+        ``partition_dirichlet`` output) into CSR form."""
+        sizes = np.fromiter((len(s) for s in shards), dtype=np.int64,
+                            count=len(shards))
+        offsets = np.zeros(len(shards) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if shards:
+            indices = np.concatenate(
+                [np.asarray(s, dtype=np.int64) for s in shards])
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+        return cls(indices=indices, offsets=offsets)
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(len(self)):
+            yield self.shard(i)
+
+    def _check(self, client_id: int) -> int:
+        n = len(self)
+        if not 0 <= client_id < n:
+            raise IndexError(
+                f"client_id {client_id} out of range for {n} shards")
+        return int(client_id)
+
+    def shard(self, client_id: int) -> np.ndarray:
+        """Client ``client_id``'s sample indices (zero-copy view)."""
+        i = self._check(client_id)
+        return self.indices[self.offsets[i]:self.offsets[i + 1]]
+
+    def num_samples(self, client_id: int) -> int:
+        """Shard size without materializing the view."""
+        i = self._check(client_id)
+        return int(self.offsets[i + 1] - self.offsets[i])
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the packed assignment (the whole fleet's cost)."""
+        return int(self.indices.nbytes + self.offsets.nbytes)
 
 
 def partition_iid(n_samples: int, num_clients: int,

@@ -59,11 +59,18 @@ class Dataset:
 
     def subset(self, indices: np.ndarray, *,
                name: str | None = None) -> "Dataset":
-        """New dataset restricted to ``indices`` (copies the arrays)."""
+        """New dataset restricted to ``indices`` (copies the arrays).
+
+        Fancy indexing with an index *array* already returns fresh
+        arrays, so this is exactly one copy of each — the virtual
+        client plane materializes subsets on demand and an extra
+        transient copy here would double its peak.
+        """
+        indices = np.asarray(indices)
         return Dataset(
             name=name or self.name,
-            x=self.x[indices].copy(),
-            y=self.y[indices].copy(),
+            x=self.x[indices],
+            y=self.y[indices],
             num_classes=self.num_classes,
             data_type=self.data_type,
             metadata=dict(self.metadata),

@@ -30,12 +30,16 @@ def save_checkpoint(simulation: FederatedSimulation,
         "dtype": global_weights.layout.dtype.name,
         "clients": [],
     }
-    for client in simulation.clients:
-        entry = {"client_id": client.client_id,
-                 "has_personal": client.personal_weights is not None}
-        if client.personal_weights is not None:
-            save_weights(client.personal_weights,
-                         directory / f"client{client.client_id}.npz")
+    # Personalized weights live in the flat registry, not on live
+    # client objects — save straight from its rows (zero-copy views),
+    # keeping the on-disk format of the eager plane.
+    trained = set(simulation.registry.client_ids())
+    for client_id in range(simulation.config.num_clients):
+        entry = {"client_id": client_id,
+                 "has_personal": client_id in trained}
+        if client_id in trained:
+            save_weights(simulation.registry.get(client_id),
+                         directory / f"client{client_id}.npz")
         meta["clients"].append(entry)
     stored = getattr(simulation.defense, "_stored", None)
     if stored:
@@ -71,9 +75,10 @@ def load_checkpoint(simulation: FederatedSimulation,
         directory / "global.npz")
     for entry in meta["clients"]:
         if entry["has_personal"]:
-            client = simulation.clients[entry["client_id"]]
-            client.personal_weights = load_store(
+            store = load_store(
                 directory / f"client{entry['client_id']}.npz")
+            simulation.registry.put(int(entry["client_id"]),
+                                    store.buffer)
     for client_id in meta.get("dinar_clients", []):
         path = directory / f"dinar{client_id}.npz"
         layers: dict[int, dict[str, np.ndarray]] = {}

@@ -11,11 +11,22 @@ The client keeps its *personalized* weights (post-training, pre-upload
 transform) for its own predictions, matching §4.3: "the resulting
 personalized client models are used by the clients for their
 predictions".
+
+Virtual-client plane: an ``FLClient`` is no longer necessarily a
+long-lived per-client object.  :meth:`FLClient.bind` rebinds an
+existing instance — model buffers, optimizer-free round state and all —
+onto another client's descriptor without reallocating anything, which
+is what lets a bounded pool of models serve an unbounded fleet (see
+``repro.fl.virtual``).  Bound clients materialize their dataset lazily
+from the descriptor's shard view and store personalized weights in the
+fleet's flat-buffer registry rather than on the instance, so nothing
+per-client survives a rebind except what the registry holds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -29,8 +40,11 @@ from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Model
 from repro.nn.optim import make_optimizer
-from repro.nn.store import WeightsLike, WeightStore
+from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.fl.virtual import ClientDescriptor, PersonalWeightsRegistry
 
 
 @dataclass
@@ -65,16 +79,24 @@ def add_proximal_term(model: Model, mu: float,
 class FLClient:
     """One cross-silo FL participant."""
 
-    def __init__(self, client_id: int, model: Model, data: Dataset,
+    def __init__(self, client_id: int, model: Model,
+                 data: Dataset | None,
                  config: FLConfig, defense: Defense,
                  rng: np.random.Generator | None = None,
                  loss: Loss | None = None,
-                 cost_meter: CostMeter | None = None) -> None:
-        if len(data) == 0:
+                 cost_meter: CostMeter | None = None,
+                 eval_model_provider:
+                 "Callable[[], Model] | None" = None) -> None:
+        if data is not None and len(data) == 0:
             raise ValueError(f"client {client_id} has no data")
         self.client_id = client_id
         self.model = model
-        self.data = data
+        self._data = data
+        self._descriptor: "ClientDescriptor | None" = None
+        self._registry: "PersonalWeightsRegistry | None" = None
+        self._personal: WeightStore | None = None
+        self._eval_provider = eval_model_provider
+        self._eval_cache: Model | None = None
         self.config = config
         self.defense = defense
         # Placeholder stream until the first round replaces it with the
@@ -83,12 +105,78 @@ class FLClient:
             else np.random.default_rng((config.seed, 1, client_id))
         self.loss = loss or SoftmaxCrossEntropy()
         self.cost_meter = cost_meter or CostMeter()
-        self.personal_weights: WeightStore | None = None
         model.attach_rng(self.rng)
+
+    # ------------------------------------------------------------------
+    # virtual-client plane: descriptor binding and residue
+    # ------------------------------------------------------------------
+    def bind(self, descriptor: "ClientDescriptor",
+             registry: "PersonalWeightsRegistry | None" = None) -> None:
+        """Rebind this instance onto another client's descriptor.
+
+        Nothing is reallocated: the model keeps its weight/gradient
+        buffers and workspace arena (``train_round`` overwrites the
+        whole weight buffer from the received global store and rebuilds
+        the optimizer with zeroed state, so a reused model is bitwise
+        identical to a fresh one).  The dataset is dropped and lazily
+        rematerialized from the descriptor's shard view on first
+        access, and any local personalized weights are cleared — after
+        a rebind the only per-client residue lives in ``registry``,
+        which is what makes pool reuse alias-free.
+        """
+        self.client_id = descriptor.client_id
+        self._data = None
+        self._descriptor = descriptor
+        self._registry = registry
+        self._personal = None
+        self.rng = np.random.default_rng(
+            (self.config.seed, 1, descriptor.client_id))
+        self.model.attach_rng(self.rng)
+
+    @property
+    def data(self) -> Dataset:
+        """The local dataset; descriptor-bound clients materialize the
+        shard subset on first access."""
+        if self._data is None:
+            if self._descriptor is None:
+                raise RuntimeError(
+                    f"client {self.client_id} has neither a dataset "
+                    f"nor a descriptor to materialize one from")
+            self._data = self._descriptor.materialize_data()
+        return self._data
+
+    @data.setter
+    def data(self, dataset: Dataset) -> None:
+        self._data = dataset
+
+    @property
+    def personal_weights(self) -> WeightStore | None:
+        """Personalized weights — the client's §4.3 prediction state.
+
+        Registry-backed when bound through the virtual plane (a
+        zero-copy view of the client's registry row; ``None`` until the
+        client first trains), instance-local otherwise.
+        """
+        if self._registry is not None:
+            return self._registry.get(self.client_id)
+        return self._personal
+
+    @personal_weights.setter
+    def personal_weights(self, weights: WeightStore | None) -> None:
+        if self._registry is not None and weights is not None:
+            self._registry.put(self.client_id, as_store(weights).buffer)
+            return
+        self._personal = weights
 
     @property
     def num_samples(self) -> int:
-        """Local dataset size (FedAvg weighting factor)."""
+        """Local dataset size (FedAvg weighting factor).
+
+        Answered from the descriptor when one is bound, so weighting a
+        fleet never forces dataset materialization.
+        """
+        if self._data is None and self._descriptor is not None:
+            return self._descriptor.num_samples
         return len(self.data)
 
     def train_round(self, global_weights: WeightsLike,
@@ -198,7 +286,12 @@ class FLClient:
                 optimizer.step()
 
     def personalized_model(self) -> Model:
-        """The client's prediction model (private layer restored)."""
+        """The client's prediction model (private layer restored).
+
+        Returns an independent clone the caller owns; the hot
+        evaluation path (:meth:`evaluate`) goes through a reused eval
+        model instead and never clones per call.
+        """
         if self.personal_weights is None:
             raise RuntimeError(
                 f"client {self.client_id} has not trained yet")
@@ -206,6 +299,23 @@ class FLClient:
         model.set_weights(self.personal_weights)
         return model
 
+    def _eval_model(self) -> Model:
+        """The reused evaluation model: fleet-shared when bound through
+        the virtual plane, a lazily cloned singleton otherwise.
+        Predictions depend only on the weights loaded before each use,
+        so sharing one model across clients is bitwise-safe."""
+        if self._eval_provider is not None:
+            return self._eval_provider()
+        if self._eval_cache is None:
+            self._eval_cache = self.model.clone()
+        return self._eval_cache
+
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Accuracy of the personalized model on the given samples."""
-        return accuracy(self.personalized_model().predict(x), y)
+        personal = self.personal_weights
+        if personal is None:
+            raise RuntimeError(
+                f"client {self.client_id} has not trained yet")
+        model = self._eval_model()
+        model.set_weights(personal)
+        return accuracy(model.predict(x), y)

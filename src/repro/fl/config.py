@@ -64,6 +64,12 @@ class FLConfig:
     #: Fraction of clients that are adversarial; which ids is a seeded
     #: pure function of the config (``behavior.select_adversaries``).
     adversary_fraction: float = 0.0
+    #: Virtual-client plane: the bound on live ``FLClient``/``Model``
+    #: instances per process.  Clients are lightweight descriptors and
+    #: full state is materialized on demand from a pool of at most this
+    #: many models (LRU rebind); any value >= 1 is bitwise-identical to
+    #: every other, so this knob trades only memory against rebinds.
+    max_materialized: int = 8
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -142,3 +148,7 @@ class FLConfig:
             raise ValueError(
                 f"adversary_fraction={self.adversary_fraction} has no "
                 f"effect with adversary='none'; pick a behavior")
+        if self.max_materialized < 1:
+            raise ValueError(
+                f"max_materialized must be >= 1 (the pool needs at "
+                f"least one model), got {self.max_materialized}")

@@ -36,6 +36,13 @@ class CostReport:
     # aggregator rejected outright (norm clustering's filter).
     clients_adversarial: int = 0
     clients_filtered: int = 0
+    # Virtual-client-plane accounting: peak simultaneously live model
+    # instances in any one process's pool, cumulative descriptor binds
+    # as seen by the busiest process, and the personal-weights
+    # registry's allocated bytes.
+    peak_live_models: int = 0
+    model_materializations: int = 0
+    registry_bytes: int = 0
 
     @property
     def train_seconds_per_round(self) -> float:
@@ -68,6 +75,12 @@ class CostReport:
             summary += (f", adversarial {self.clients_adversarial}, "
                         f"filtered {self.clients_filtered}")
         return summary
+
+    def client_plane_summary(self) -> str:
+        """One-line virtual-client-plane digest for run summaries."""
+        return (f"{self.peak_live_models} live model(s) peak, "
+                f"{self.model_materializations} bind(s), "
+                f"registry {self.registry_bytes / 1024:.0f} KiB")
 
 
 class CostMeter:
@@ -163,6 +176,27 @@ class CostMeter:
                 f"{(adversarial, filtered)}")
         self.report.clients_adversarial += adversarial
         self.report.clients_filtered += filtered
+
+    def record_client_plane(self, *, live_models: int = 0,
+                            materializations: int = 0,
+                            registry_bytes: int = 0) -> None:
+        """Track virtual-client-plane peaks.
+
+        All three are max-merged: with parallel executors each worker
+        process runs its own bounded pool, so the honest fleet-wide
+        statement is the busiest process's peak (per-process pools are
+        what bound memory), not a sum over processes.
+        """
+        counts = (live_models, materializations, registry_bytes)
+        if any(c < 0 for c in counts):
+            raise ValueError(
+                f"client-plane counts must be >= 0, got {counts}")
+        self.report.peak_live_models = max(
+            self.report.peak_live_models, int(live_models))
+        self.report.model_materializations = max(
+            self.report.model_materializations, int(materializations))
+        self.report.registry_bytes = max(
+            self.report.registry_bytes, int(registry_bytes))
 
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""

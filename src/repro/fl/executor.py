@@ -33,9 +33,19 @@ What crosses the process boundary is explicit and nothing else does:
 
 Worker processes are forked from the fully constructed simulation, so
 datasets and model structure are inherited copy-on-write and are never
-pickled.  The parent's client objects stay authoritative for
-evaluation state (``personal_weights``), which the simulation writes
-back from the returned results.
+pickled.  The parent's personal-weights registry stays authoritative
+for evaluation state, which the simulation writes back from the
+returned results.
+
+Virtual-client plane: executors resolve ``client_id -> FLClient``
+through a *provider* — anything with ``materialize(client_id)``.  The
+simulation passes its :class:`~repro.fl.virtual.VirtualClientFleet`, so
+each process (the parent for serial, every forked worker for parallel)
+materializes clients on demand from its own bounded model pool instead
+of indexing a fleet-sized list; plain client sequences are adapted for
+direct use.  Each result carries the executing process's pool
+accounting (``pool_live`` / ``pool_materializations``) back to the
+parent's cost meter.
 
 Workspace arenas (:class:`repro.nn.workspace.Workspace`) are strictly
 process-local: a forked worker inherits the parent model's arena
@@ -137,6 +147,35 @@ class ClientRoundResult:
     client_state: Any
     #: ``Defense.state_bytes()`` as seen where the round ran.
     defense_state_bytes: int
+    #: Virtual-client plane: model instances live in the executing
+    #: process's pool, and its cumulative materializations (binds).
+    #: Zero when the executor runs over a plain client sequence.
+    pool_live: int = 0
+    pool_materializations: int = 0
+
+
+class _SequenceProvider:
+    """Adapter giving a plain client list the provider protocol."""
+
+    def __init__(self, clients: Sequence["FLClient"]) -> None:
+        self.clients = list(clients)
+
+    def materialize(self, client_id: int) -> "FLClient":
+        return self.clients[client_id]
+
+
+def _as_provider(clients: Any) -> Any:
+    """Normalize a fleet-or-sequence into a client provider."""
+    if hasattr(clients, "materialize"):
+        return clients
+    return _SequenceProvider(clients)
+
+
+def _stamp_pool_stats(result: ClientRoundResult, provider: Any) -> None:
+    """Record the executing process's pool accounting on the result."""
+    result.pool_live = int(getattr(provider, "live_models", 0))
+    result.pool_materializations = int(
+        getattr(provider, "materializations", 0))
 
 
 def execute_client_task(client: "FLClient", defense: "Defense",
@@ -212,10 +251,10 @@ class RoundExecutor:
 class SerialExecutor(RoundExecutor):
     """The reference executor: clients run one after another."""
 
-    def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
+    def __init__(self, clients: Any, defense: "Defense",
                  layout: Layout,
                  behavior: "ClientBehavior | None" = None) -> None:
-        self.clients = list(clients)
+        self.clients = _as_provider(clients)
         self.defense = defense
         self.layout = layout
         self.behavior = behavior
@@ -225,9 +264,11 @@ class SerialExecutor(RoundExecutor):
         for task in tasks:
             if task.dropped:
                 continue
-            yield execute_client_task(self.clients[task.client_id],
-                                      self.defense, self.layout, task,
-                                      self.behavior)
+            result = execute_client_task(
+                self.clients.materialize(task.client_id),
+                self.defense, self.layout, task, self.behavior)
+            _stamp_pool_stats(result, self.clients)
+            yield result
 
 
 # ----------------------------------------------------------------------
@@ -236,9 +277,14 @@ class SerialExecutor(RoundExecutor):
 
 @dataclass
 class _WorkerContext:
-    """Per-process replica of the simulation's client-side objects."""
+    """Per-process replica of the simulation's client-side objects.
 
-    clients: list
+    ``clients`` is a provider (fleet or adapted sequence) inherited via
+    fork; each worker materializes from its *own* copy-on-write pool,
+    so per-process live models stay bounded by the pool capacity.
+    """
+
+    clients: Any
     defense: Any
     layout: Layout
     behavior: Any = None
@@ -259,9 +305,11 @@ def _run_in_worker(task: ClientTask) -> ClientRoundResult:
         raise RuntimeError("worker process has no bound context; "
                            "the pool initializer did not run")
     try:
-        return execute_client_task(
-            context.clients[task.client_id], context.defense,
-            context.layout, task, context.behavior)
+        result = execute_client_task(
+            context.clients.materialize(task.client_id),
+            context.defense, context.layout, task, context.behavior)
+        _stamp_pool_stats(result, context.clients)
+        return result
     except Exception as exc:
         raise RuntimeError(
             f"client {task.client_id} failed in round "
@@ -279,7 +327,7 @@ class ParallelExecutor(RoundExecutor):
     cohort order.
     """
 
-    def __init__(self, clients: Sequence["FLClient"], defense: "Defense",
+    def __init__(self, clients: Any, defense: "Defense",
                  layout: Layout, workers: int,
                  behavior: "ClientBehavior | None" = None) -> None:
         if workers < 2:
@@ -290,7 +338,7 @@ class ParallelExecutor(RoundExecutor):
             raise RuntimeError(
                 "ParallelExecutor requires the 'fork' start method "
                 "(unavailable on this platform); run with workers=0")
-        self.clients = list(clients)
+        self.clients = _as_provider(clients)
         self.defense = defense
         self.layout = layout
         self.workers = workers
@@ -361,15 +409,17 @@ class ParallelExecutor(RoundExecutor):
             pass
 
 
-def make_executor(clients: Sequence["FLClient"], defense: "Defense",
+def make_executor(clients: Any, defense: "Defense",
                   layout: Layout, config: "FLConfig",
                   behavior: "ClientBehavior | None" = None
                   ) -> RoundExecutor:
     """Build the executor ``config.workers`` asks for.
 
-    ``workers`` of 0 or 1 selects the serial reference; anything
-    larger fans out across that many worker processes.  ``behavior``
-    is the run's adversarial-client behavior (``None`` = honest).
+    ``clients`` is a provider (a ``VirtualClientFleet``) or a plain
+    client sequence.  ``workers`` of 0 or 1 selects the serial
+    reference; anything larger fans out across that many worker
+    processes.  ``behavior`` is the run's adversarial-client behavior
+    (``None`` = honest).
     """
     if config.workers > 1:
         return ParallelExecutor(clients, defense, layout,

@@ -20,6 +20,16 @@ fleet knobs (``sample_fraction``, ``drop_rate``,
 ``completion_threshold``) turn the round loop into a partial-
 participation, straggler-tolerant pipeline whose defaults reproduce
 the pre-fleet trajectories bitwise (see :meth:`run_round`).
+
+The client plane is **virtual** (see ``repro.fl.virtual``): clients
+exist as descriptors over a packed shard assignment, full
+``FLClient``/``Model`` state is materialized on demand from a pool of
+at most ``config.max_materialized`` instances, and per-client residue
+(personalized weights) lives in a flat-buffer registry keyed by client
+id.  ``simulation.clients`` is the fleet façade — indexing and
+iteration still hand back live ``FLClient`` objects — and every
+trajectory is bitwise-identical to the eager plane at any pool
+capacity.
 """
 
 from __future__ import annotations
@@ -31,18 +41,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.partition import (
+    ClientShards,
     MembershipSplit,
     partition_dirichlet,
     partition_iid,
 )
+from repro.data.synthetic import Dataset
 from repro.fl.behavior import make_behavior_for_config
-from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.client import ClientUpdate
 from repro.fl.config import FLConfig
 from repro.fl.costs import CostMeter
 from repro.fl.executor import ClientTask, client_drops, make_executor
 from repro.fl.network import NetworkModel, TrafficMeter, dense_nbytes
 from repro.fl.server import FLServer
-from repro.nn.metrics import accuracy
+from repro.fl.virtual import PersonalWeightsRegistry, VirtualClientFleet
 from repro.nn.model import Model
 from repro.nn.store import WeightsLike, WeightStore, as_store
 from repro.privacy.defenses.base import Defense
@@ -124,40 +136,33 @@ class FederatedSimulation:
 
         members = split.members
         if math.isinf(dirichlet_alpha):
-            shards = partition_iid(len(members), config.num_clients,
-                                   self.rng)
+            shard_list = partition_iid(len(members), config.num_clients,
+                                       self.rng)
         else:
-            shards = partition_dirichlet(
+            shard_list = partition_dirichlet(
                 members.y, config.num_clients, dirichlet_alpha, self.rng,
                 num_classes=members.num_classes)
-        self.client_data = [
-            members.subset(shard, name=f"{members.name}/client{i}")
-            for i, shard in enumerate(shards)
-        ]
+        self.shards = ClientShards.pack(shard_list)
 
-        # Each client owns its meter: round timings travel back to the
-        # simulation's aggregate meter through the executor results, so
-        # the accounting works identically when clients train in
-        # worker processes.
-        self.clients = [
-            FLClient(
-                client_id=i,
-                model=model_factory(np.random.default_rng(config.seed)),
-                data=self.client_data[i],
-                config=config,
-                defense=self.defense,
-            )
-            for i in range(config.num_clients)
-        ]
-        template = self.clients[0].model.get_store()
-        self._layout = template.layout
+        # Virtual-client plane: ONE template model (the eager plane
+        # built N identical copies from the same seeded factory), a
+        # flat-buffer registry for every client's personalized weights,
+        # and a fleet façade that materializes FLClients on demand from
+        # a pool of at most config.max_materialized model instances.
+        template = model_factory(np.random.default_rng(config.seed))
+        self._layout = template.weight_layout()
         if np.dtype(config.dtype) != self._layout.dtype:
             raise ValueError(
                 f"FLConfig.dtype={config.dtype!r} but the model factory "
                 f"builds {self._layout.dtype.name} models; pass the "
                 f"config dtype through to build_model")
+        self.registry = PersonalWeightsRegistry(self._layout)
+        self.fleet = VirtualClientFleet(
+            members, self.shards, template, config, self.defense,
+            registry=self.registry)
+        self.clients = self.fleet
         self.server = FLServer(
-            initial_weights=template,
+            initial_weights=template.get_store(),
             config=config,
             defense=self.defense,
             rng=np.random.default_rng((config.seed, 2)),
@@ -168,10 +173,19 @@ class FederatedSimulation:
         # byte-for-byte the pre-robustness code.
         self.behavior = make_behavior_for_config(config)
         self.executor = make_executor(
-            self.clients, self.defense, self._layout, config,
+            self.fleet, self.defense, self._layout, config,
             behavior=self.behavior)
         self.last_updates: dict[int, WeightsLike] = {}
         self.history = History()
+
+    @property
+    def client_data(self):
+        """Lazy per-client dataset views (materialized on access)."""
+        return self.fleet.datasets
+
+    def client_dataset(self, client_id: int) -> Dataset:
+        """Materialize one client's local dataset."""
+        return self.fleet.dataset(client_id)
 
     # ------------------------------------------------------------------
     def run(self) -> History:
@@ -242,13 +256,15 @@ class FederatedSimulation:
             for result in self.executor.iter_round(tasks):
                 self.defense.import_client_state(
                     result.client_id, result.client_state)
-                client = self.clients[result.client_id]
-                client.personal_weights = WeightStore(
-                    self._layout, result.personal_buffer)
+                self.registry.put(result.client_id,
+                                  result.personal_buffer)
                 self.cost_meter.merge_client_round(
                     result.train_seconds, result.defense_seconds)
                 self.cost_meter.record_defense_state(
                     result.defense_state_bytes)
+                self.cost_meter.record_client_plane(
+                    live_models=result.pool_live,
+                    materializations=result.pool_materializations)
                 update = ClientUpdate(
                     client_id=result.client_id,
                     weights=WeightStore(self._layout,
@@ -270,14 +286,23 @@ class FederatedSimulation:
         # mixing total is known up front and the streaming accumulator
         # folds pre-normalized coefficients — reproducing the dense
         # FedAvg reduction exactly (see fl.aggregation).
+        # Weighted straight off the packed shard sizes: no client is
+        # materialized to answer "how big is your shard".
         total_samples = float(sum(
-            self.clients[cid].num_samples for cid in completed))
+            self.shards.num_samples(cid) for cid in completed))
         self.server.aggregate(stream_updates(), expected=len(cohort),
                               total_samples=total_samples)
         # The parent's defense holds the merged per-client state, so
         # its memory footprint is authoritative (worker copies only
         # ever see one client's slice).
         self.cost_meter.record_defense_state(self.defense.state_bytes())
+        # Serial rounds run on the parent's pool; parallel rounds on
+        # the workers' (reported per result above).  Max-merging both
+        # keeps the report meaningful either way.
+        self.cost_meter.record_client_plane(
+            live_models=self.fleet.live_models,
+            materializations=self.fleet.materializations,
+            registry_bytes=self.registry.nbytes)
         self.cost_meter.record_participation(
             sampled=len(cohort), completed=len(completed),
             dropped=len(dropped), stragglers=len(stragglers))
@@ -326,17 +351,29 @@ class FederatedSimulation:
         return self.model_from_weights(self.last_updates[client_id])
 
     def global_accuracy(self) -> float:
-        """Global model accuracy on the held-out non-member test set."""
+        """Global model accuracy on the held-out non-member test set.
+
+        Routed through the fleet's shared eval model (predictions
+        depend only on the loaded weights), so evaluation allocates no
+        fresh model.
+        """
         test = self.split.nonmembers
-        return accuracy(self.global_model().predict(test.x), test.y)
+        return self.fleet.evaluate_weights(
+            self.server.global_weights, test.x, test.y)
 
     def mean_client_accuracy(self) -> float:
-        """Mean personalized-model accuracy on the test set (Appendix A)."""
+        """Mean personalized-model accuracy on the test set (Appendix A).
+
+        Evaluates exactly the clients present in the personal-weights
+        registry — the ones that have trained — in ascending id order
+        (the eager plane's order), loading each registry row into the
+        one shared eval model.
+        """
         test = self.split.nonmembers
         scores = [
-            client.evaluate(test.x, test.y)
-            for client in self.clients
-            if client.personal_weights is not None
+            self.fleet.evaluate_weights(self.registry.get(client_id),
+                                        test.x, test.y)
+            for client_id in self.registry.client_ids()
         ]
         if not scores:
             return float("nan")

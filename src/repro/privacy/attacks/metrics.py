@@ -87,11 +87,13 @@ def local_models_auc(attack, simulation, *, max_samples: int = 500,
     rng = rng or np.random.default_rng(0)
     nonmembers = simulation.split.nonmembers
     aucs = []
-    for client in simulation.clients:
-        if client.client_id not in simulation.last_updates:
-            continue
-        model = simulation.transmitted_model(client.client_id)
-        data = client.data
+    # Ascending id over the round's participants — the same clients in
+    # the same order as iterating the full fleet and skipping
+    # non-participants, without materializing a single FLClient (at
+    # fleet scale, most clients never trained).
+    for client_id in sorted(simulation.last_updates):
+        model = simulation.transmitted_model(client_id)
+        data = simulation.client_dataset(client_id)
         m_idx = _sample(rng, len(data), max_samples)
         n_idx = _sample(rng, len(nonmembers), max_samples)
         m_scores = attack.score(model, data.x[m_idx], data.y[m_idx])
