@@ -43,6 +43,13 @@ class CostReport:
     peak_live_models: int = 0
     model_materializations: int = 0
     registry_bytes: int = 0
+    # IPC-plane accounting, summed across rounds: bytes that crossed
+    # the executor's process boundary through pickling (task/result
+    # payloads on the pool pipe) vs through mapped shared-memory
+    # segments (weight broadcast, round state, result slabs).  Both
+    # zero for serial runs — nothing crosses a process boundary.
+    ipc_bytes_pickled: int = 0
+    ipc_bytes_shared: int = 0
 
     @property
     def train_seconds_per_round(self) -> float:
@@ -81,6 +88,22 @@ class CostReport:
         return (f"{self.peak_live_models} live model(s) peak, "
                 f"{self.model_materializations} bind(s), "
                 f"registry {self.registry_bytes / 1024:.0f} KiB")
+
+    def ipc_summary(self) -> str:
+        """One-line executor-IPC digest for run summaries."""
+        if not self.ipc_bytes_pickled and not self.ipc_bytes_shared:
+            return "in-process (no executor IPC)"
+        return (f"{_format_bytes(self.ipc_bytes_pickled)} pickled, "
+                f"{_format_bytes(self.ipc_bytes_shared)} shared")
+
+
+def _format_bytes(num_bytes: int) -> str:
+    """Human-scale byte count for one-line summaries."""
+    if num_bytes >= 1 << 20:
+        return f"{num_bytes / (1 << 20):.1f} MiB"
+    if num_bytes >= 1 << 10:
+        return f"{num_bytes / (1 << 10):.1f} KiB"
+    return f"{num_bytes} B"
 
 
 class CostMeter:
@@ -197,6 +220,14 @@ class CostMeter:
             self.report.model_materializations, int(materializations))
         self.report.registry_bytes = max(
             self.report.registry_bytes, int(registry_bytes))
+
+    def record_ipc(self, *, pickled: int = 0, shared: int = 0) -> None:
+        """Fold one round's executor-IPC byte counts into this meter."""
+        if pickled < 0 or shared < 0:
+            raise ValueError(
+                f"IPC byte counts must be >= 0, got {(pickled, shared)}")
+        self.report.ipc_bytes_pickled += int(pickled)
+        self.report.ipc_bytes_shared += int(shared)
 
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""

@@ -174,7 +174,7 @@ class FederatedSimulation:
         self.behavior = make_behavior_for_config(config)
         self.executor = make_executor(
             self.fleet, self.defense, self._layout, config,
-            behavior=self.behavior)
+            behavior=self.behavior, cost_meter=self.cost_meter)
         self.last_updates: dict[int, WeightsLike] = {}
         self.history = History()
 

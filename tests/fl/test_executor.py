@@ -122,6 +122,35 @@ class TestSelection:
         assert executor.workers == 2
         executor.close()
 
+    def test_default_transport_is_shm(self):
+        from repro.fl.shm import ShmParallelExecutor, shm_available
+        if not shm_available():
+            pytest.skip("shared memory unavailable on this platform")
+        executor = make_executor([], Defense(), None, FLConfig(workers=2))
+        assert isinstance(executor, ShmParallelExecutor)
+        executor.close()
+
+    def test_ipc_pickle_selects_plain_parallel(self):
+        from repro.fl.shm import ShmParallelExecutor
+        config = FLConfig(workers=2, ipc="pickle")
+        executor = make_executor([], Defense(), None, config)
+        assert isinstance(executor, ParallelExecutor)
+        assert not isinstance(executor, ShmParallelExecutor)
+        executor.close()
+
+    def test_shm_falls_back_to_pickle_when_unavailable(
+            self, monkeypatch):
+        from repro.fl import shm
+        monkeypatch.setattr(shm, "_AVAILABLE", False)
+        executor = make_executor([], Defense(), None, FLConfig(workers=2))
+        assert isinstance(executor, ParallelExecutor)
+        assert not isinstance(executor, shm.ShmParallelExecutor)
+        executor.close()
+
+    def test_config_rejects_unknown_ipc(self):
+        with pytest.raises(ValueError, match="ipc"):
+            FLConfig(ipc="carrier-pigeon")
+
     def test_one_worker_is_serial(self):
         executor = make_executor([], Defense(), None, FLConfig(workers=1))
         assert isinstance(executor, SerialExecutor)
@@ -148,15 +177,16 @@ class TestSelection:
 # ----------------------------------------------------------------------
 
 class TestBitwiseIdentity:
+    @pytest.mark.parametrize("ipc", ["pickle", "shm"])
     @pytest.mark.parametrize("defense_name",
                              sorted(DEFENSE_FACTORIES))
     def test_full_run_identical(self, small_split, tiny_model_factory,
-                                defense_name):
+                                defense_name, ipc):
         make = DEFENSE_FACTORIES[defense_name]
         serial = _snapshot(*_run(small_split, tiny_model_factory,
                                  make(), workers=0))
         parallel = _snapshot(*_run(small_split, tiny_model_factory,
-                                   make(), workers=2))
+                                   make(), workers=2, ipc=ipc))
         assert np.array_equal(serial["global"], parallel["global"])
         assert serial["personal"].keys() == parallel["personal"].keys()
         for cid in serial["personal"]:
@@ -219,19 +249,21 @@ class _DyingDefense(Defense):
 
 
 class TestFailures:
+    @pytest.mark.parametrize("ipc", ["pickle", "shm"])
     def test_worker_exception_names_client_and_round(
-            self, small_split, tiny_model_factory):
+            self, small_split, tiny_model_factory, ipc):
         with pytest.raises(RuntimeError,
                            match=r"client 1 failed in round 0"):
             _run(small_split, tiny_model_factory, _ExplodingDefense(),
-                 workers=2, rounds=1)
+                 workers=2, rounds=1, ipc=ipc)
 
+    @pytest.mark.parametrize("ipc", ["pickle", "shm"])
     def test_worker_crash_surfaces_instead_of_hanging(
-            self, small_split, tiny_model_factory):
+            self, small_split, tiny_model_factory, ipc):
         """A hard worker death must raise promptly, not deadlock."""
         with pytest.raises(RuntimeError, match="worker process died"):
             _run(small_split, tiny_model_factory, _DyingDefense(),
-                 workers=2, rounds=1)
+                 workers=2, rounds=1, ipc=ipc)
 
     def test_pool_recreated_after_close(self, small_split,
                                         tiny_model_factory):

@@ -1,13 +1,22 @@
 """Property-based tests on FL substrate invariants."""
 
+import multiprocessing
+import pathlib
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.partition import partition_dirichlet, partition_iid
 from repro.data.synthetic import synthetic_tabular
 from repro.fl.network import LinkSpec, dense_nbytes, sparse_nbytes
+from repro.fl.shm import shm_available
 from repro.privacy.defenses.accounting import gaussian_sigma
+from tests.fl.trajectory_recipes import simulation_trajectory
+
+_PINS = (pathlib.Path(__file__).resolve().parent.parent
+         / "fixtures" / "trajectory_pins.npz")
 
 
 @settings(max_examples=30, deadline=None)
@@ -47,6 +56,34 @@ def test_synthetic_tabular_labels_cover_classes(n, k, seed, noise):
                            noise=noise)
     assert ds.class_counts().min() >= n // k - 1
     assert set(np.unique(ds.x)) <= {0.0, 1.0}
+
+
+@pytest.mark.skipif(
+    not shm_available()
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shm executor needs shared memory + fork")
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from([1, 2, 4]),
+       st.sampled_from(["none", "dinar", "sa"]),
+       st.sampled_from([1, 2, 8]))
+def test_shm_parallel_matches_golden_pin(workers, defense,
+                                         max_materialized):
+    """Every (worker count, defense, model-pool bound) lands on the
+    recorded golden trajectory over the shm transport.
+
+    The pin was recorded on the serial dict-plane path, so matching it
+    proves shm-parallel == serial bitwise without re-running serial —
+    the transport, the fan-out width, and the virtual-client pool size
+    are all invisible to the trajectory.
+    """
+    vector = simulation_trajectory(defense, workers=workers, ipc="shm",
+                                   max_materialized=max_materialized)
+    with np.load(_PINS) as pins:
+        expected = pins[f"defense/{defense}"]
+    assert vector.shape == expected.shape
+    if not np.array_equal(vector, expected):
+        np.testing.assert_array_almost_equal_nulp(vector, expected,
+                                                  nulp=2)
 
 
 @settings(max_examples=30, deadline=None)
