@@ -30,8 +30,11 @@ from repro.data import available_datasets
 from repro.fl.aggregation import AGGREGATOR_CHOICES
 from repro.fl.behavior import BEHAVIOR_CHOICES
 from repro.fl.config import FLConfig
+from repro.privacy.defenses import DEFENSE_CHOICES
 
-DEFENSES = ["none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"]
+# Derived from the make_defense registry — the single source of truth
+# for defense names, so CLI choices cannot drift from the factory.
+DEFENSES = list(DEFENSE_CHOICES)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,6 +91,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "coordinate_median and clustered are "
                           "Byzantine-robust order statistics over the "
                           "dense update matrix)")
+    run.add_argument("--distance-mask", default="none",
+                     choices=["none", "obfuscated"],
+                     help="segment-mask the clustered aggregator's "
+                          "distance metric: obfuscated excludes the "
+                          "defense's protected (DINAR-obfuscated) "
+                          "layers so norm clustering sees only honest "
+                          "segments (requires --aggregator clustered)")
     run.add_argument("--adversary", default="none",
                      choices=list(BEHAVIOR_CHOICES),
                      help="adversarial client behavior (byzantine = "
@@ -115,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--dataset", required=True,
                         choices=available_datasets())
     analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--method", default="gradient_norms",
+                         choices=["gradient_norms", "gradient_values"],
+                         help="per-layer divergence statistic: "
+                              "gradient_norms (per-sample gradient "
+                              "norm distributions, the default) or "
+                              "gradient_values (raw gradient value "
+                              "distributions)")
 
     sub.add_parser("list", help="list datasets and defenses")
     return parser
@@ -137,6 +154,7 @@ def _config_from_args(args) -> FLConfig:
         completion_threshold=args.completion_threshold,
         dtype=args.dtype,
         aggregator=args.aggregator,
+        distance_mask=args.distance_mask,
         adversary=args.adversary,
         adversary_fraction=args.adversary_fraction,
         max_materialized=args.max_materialized,
@@ -149,26 +167,29 @@ def _cmd_run(args) -> int:
         config=_config_from_args(args), dirichlet_alpha=args.alpha,
         n_samples=args.samples, seed=args.seed)
     costs = result.costs
+    rows = [
+        ["attack AUC vs global model", f"{100 * result.global_auc:.1f}%"],
+        ["attack AUC vs client uploads", f"{100 * result.local_auc:.1f}%"],
+        ["global model accuracy", f"{100 * result.global_accuracy:.1f}%"],
+        ["mean client accuracy", f"{100 * result.client_accuracy:.1f}%"],
+        ["client train time / round",
+         f"{costs.train_seconds_per_round:.3f}s"],
+        ["server aggregation / round",
+         f"{1000 * costs.aggregate_seconds_per_round:.1f}ms"],
+        ["defense extra state",
+         f"{costs.defense_state_bytes / 1024:.0f} KiB"],
+        ["fleet participation", costs.participation_summary()],
+        ["client plane", costs.client_plane_summary()],
+        ["executor IPC", costs.ipc_summary()],
+        ["robustness",
+         f"{args.aggregator} aggregator, "
+         f"{result.simulation.behavior.describe()} clients"],
+    ]
+    if costs.segment_budget:
+        rows.append(["per-segment (eps, sigma)",
+                     costs.segment_budget_summary()])
     print(format_table(
-        ["metric", "value"],
-        [
-            ["attack AUC vs global model", f"{100 * result.global_auc:.1f}%"],
-            ["attack AUC vs client uploads", f"{100 * result.local_auc:.1f}%"],
-            ["global model accuracy", f"{100 * result.global_accuracy:.1f}%"],
-            ["mean client accuracy", f"{100 * result.client_accuracy:.1f}%"],
-            ["client train time / round",
-             f"{costs.train_seconds_per_round:.3f}s"],
-            ["server aggregation / round",
-             f"{1000 * costs.aggregate_seconds_per_round:.1f}ms"],
-            ["defense extra state",
-             f"{costs.defense_state_bytes / 1024:.0f} KiB"],
-            ["fleet participation", costs.participation_summary()],
-            ["client plane", costs.client_plane_summary()],
-            ["executor IPC", costs.ipc_summary()],
-            ["robustness",
-             f"{args.aggregator} aggregator, "
-             f"{result.simulation.behavior.describe()} clients"],
-        ],
+        ["metric", "value"], rows,
         title=f"{args.dataset} under {args.defense} "
               f"({args.attack} attack; 50% AUC is optimal)"))
     if args.out:
@@ -189,7 +210,8 @@ def _cmd_analyze(args) -> int:
         simulation.global_model(),
         simulation.split.members.x, simulation.split.members.y,
         simulation.split.nonmembers.x, simulation.split.nonmembers.y,
-        rng=np.random.default_rng(args.seed))
+        rng=np.random.default_rng(args.seed),
+        method=args.method)
     rows = [
         [idx, name, f"{div:.4f}",
          "<-- obfuscate this one"

@@ -379,14 +379,25 @@ CLUSTER_MIN_COHORT = 4
 CLUSTER_SEPARATION = 2.0
 
 
-def _cluster_distances(matrix: np.ndarray) -> np.ndarray:
+def _cluster_distances(matrix: np.ndarray,
+                       include: np.ndarray | None = None) -> np.ndarray:
     """Each row's L2 distance to the coordinate-median center, chunked
-    over columns so no ``(clients, params)`` temporary is allocated."""
+    over columns so no ``(clients, params)`` temporary is allocated.
+
+    ``include`` is an optional boolean coordinate mask (segment-plane
+    shape, ``(num_params,)``): False coordinates are excluded from the
+    distance — how norm clustering ignores DINAR's obfuscated segment.
+    Masked coordinates are zeroed in place (not compressed away), so
+    every chunk keeps its shape and summation order and an all-True
+    mask reproduces the unmasked distances bitwise.
+    """
     center = np.median(matrix, axis=0)
     sq = np.zeros(len(matrix))
     for lo in range(0, matrix.shape[1], REDUCE_CHUNK):
         hi = min(lo + REDUCE_CHUNK, matrix.shape[1])
         diff = matrix[:, lo:hi] - center[lo:hi]
+        if include is not None:
+            diff *= include[lo:hi]
         sq += np.einsum("ip,ip->i", diff, diff)
     return np.sqrt(sq)
 
@@ -421,7 +432,9 @@ def _norm_cluster_keep(dist: np.ndarray) -> np.ndarray:
 
 def clustered_mean(updates: Updates,
                    num_samples: Sequence[int] | None = None, *,
-                   diagnostics: dict | None = None) -> WeightStore:
+                   diagnostics: dict | None = None,
+                   distance_include: np.ndarray | None = None
+                   ) -> WeightStore:
     """Norm-clustering robust mean over flat update rows (extension).
 
     Cheap now that updates are contiguous ``(clients, params)`` rows:
@@ -430,6 +443,11 @@ def clustered_mean(updates: Updates,
     when it is clearly separated, and FedAvg the kept rows (sample-
     weighted when ``num_samples`` is given).  Cohorts smaller than
     ``CLUSTER_MIN_COHORT`` keep every row.
+
+    ``distance_include`` restricts the distance metric to a boolean
+    coordinate mask (see :func:`_cluster_distances`) — e.g. the
+    complement of DINAR's obfuscated segment — while the kept rows are
+    still averaged over *all* coordinates.
 
     ``diagnostics``, when passed, receives ``kept`` / ``filtered``
     (row indices) and ``distances`` — this is how the server reports
@@ -441,7 +459,12 @@ def clustered_mean(updates: Updates,
     if num_samples is not None and len(num_samples) != n:
         raise ValueError(f"{n} updates vs "
                          f"{len(num_samples)} sample counts")
-    dist = _cluster_distances(matrix)
+    if distance_include is not None \
+            and distance_include.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"distance_include shape {distance_include.shape} does not "
+            f"match {matrix.shape[1]} params")
+    dist = _cluster_distances(matrix, distance_include)
     if n < CLUSTER_MIN_COHORT:
         keep = np.ones(n, dtype=bool)
     else:

@@ -70,10 +70,8 @@ def add_proximal_term(model: Model, mu: float,
     whole-buffer form is deliberately avoided.  ``anchor`` is a flat
     snapshot of the round-start weight buffer.
     """
-    params = model.weights.buffer
-    grads = model.grad_vector
-    for segment in model.weight_layout().param_segments:
-        grads[segment] += mu * (params[segment] - anchor[segment])
+    model.segment_view().add_scaled_difference(
+        model.grad_vector, mu, model.weights.buffer, anchor)
 
 
 class FLClient:

@@ -65,6 +65,14 @@ class FLConfig:
     #: ``(clients, params)`` update matrix (``requires_dense``,
     #: cohort-capped — see DENSE_CLIENT_CAP).
     aggregator: str = "fedavg"
+    #: Segment-masked robust distances (see ``fl.aggregation``):
+    #: "none" clusters on whole-vector distances (the default);
+    #: "obfuscated" excludes the defense's protected segments — the
+    #: layers DINAR obfuscates — from the clustering distance, so a
+    #: camouflaging per-layer noise floor can't hide byzantine
+    #: clients.  Requires aggregator="clustered" and a defense that
+    #: declares ``protected_indices``.
+    distance_mask: str = "none"
     #: Adversarial client behavior (see ``fl.behavior``): "none"
     #: (honest, the default), "byzantine" (boosted sign-flip),
     #: "byzantine_gaussian", "label_flip", or "free_rider".
@@ -141,6 +149,15 @@ class FLConfig:
                 f"aggregator must be one of "
                 f"{', '.join(AGGREGATOR_CHOICES)}, "
                 f"got {self.aggregator!r}")
+        if self.distance_mask not in ("none", "obfuscated"):
+            raise ValueError(
+                f"distance_mask must be 'none' or 'obfuscated', "
+                f"got {self.distance_mask!r}")
+        if self.distance_mask != "none" and self.aggregator != "clustered":
+            raise ValueError(
+                f"distance_mask={self.distance_mask!r} only applies to "
+                f"the clustered aggregator's distance metric, "
+                f"got aggregator={self.aggregator!r}")
         if self.adversary not in BEHAVIOR_CHOICES:
             raise ValueError(
                 f"adversary must be one of "

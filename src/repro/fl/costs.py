@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -50,6 +50,11 @@ class CostReport:
     # zero for serial runs — nothing crosses a process boundary.
     ipc_bytes_pickled: int = 0
     ipc_bytes_shared: int = 0
+    # Segment-plane accounting: the per-layer privacy-budget schedule
+    # of a layer-wise DP defense (one dict per parameter-bearing
+    # segment: name, share, epsilon, sigma, params).  Empty unless a
+    # defense publishes a ``segment_report``.
+    segment_budget: list = field(default_factory=list)
 
     @property
     def train_seconds_per_round(self) -> float:
@@ -95,6 +100,15 @@ class CostReport:
             return "in-process (no executor IPC)"
         return (f"{_format_bytes(self.ipc_bytes_pickled)} pickled, "
                 f"{_format_bytes(self.ipc_bytes_shared)} shared")
+
+    def segment_budget_summary(self) -> str:
+        """One-line per-segment epsilon/noise digest for run summaries."""
+        if not self.segment_budget:
+            return "uniform (no per-segment schedule)"
+        return ", ".join(
+            f"{row['name']} eps={row['epsilon']:.3f} "
+            f"sigma={row['sigma']:.3f}"
+            for row in self.segment_budget)
 
 
 def _format_bytes(num_bytes: int) -> str:
@@ -228,6 +242,14 @@ class CostMeter:
                 f"IPC byte counts must be >= 0, got {(pickled, shared)}")
         self.report.ipc_bytes_pickled += int(pickled)
         self.report.ipc_bytes_shared += int(shared)
+
+    def record_segment_budget(self, rows: list) -> None:
+        """Record a layer-wise defense's per-segment budget schedule.
+
+        Last write wins: the schedule is deterministic per run, so
+        re-recording each round is idempotent.
+        """
+        self.report.segment_budget = list(rows)
 
     def record_defense_state(self, num_bytes: int) -> None:
         """Track the peak extra bytes a defense keeps alive."""

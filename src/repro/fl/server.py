@@ -69,9 +69,17 @@ class FLServer:
         #: outright (norm clustering); empty for coordinate-wise rules
         #: and for the streaming FedAvg path.
         self.last_filtered: list[int] = []
+        self._distance_include: np.ndarray | None = None
         if config.aggregator not in AGGREGATION_RULES:
             raise ValueError(f"unknown aggregator "
                              f"{config.aggregator!r}")
+        if config.distance_mask == "obfuscated" and not hasattr(
+                defense, "protected_indices"):
+            raise ValueError(
+                f"distance_mask='obfuscated' needs a defense that "
+                f"declares protected_indices (which layers it "
+                f"obfuscates), but {type(defense).__name__} does not; "
+                f"use --defense dinar or distance_mask='none'")
         if requires_dense(config.aggregator) and defense.pre_weighted:
             raise ValueError(
                 f"aggregator {config.aggregator!r} needs every client "
@@ -103,6 +111,25 @@ class FLServer:
             picked = sampler.choice(len(cohort), size=m, replace=False)
             cohort = sorted(cohort[int(i)] for i in picked)
         return cohort
+
+    def _mask_include(self) -> np.ndarray | None:
+        """The clustering distance's boolean coordinate mask.
+
+        ``distance_mask='obfuscated'`` excludes every coordinate of the
+        defense's protected layers — their *full* ranges, because
+        DINAR obfuscates whole layers including non-trainable buffers —
+        so the distance sees only segments the defense leaves honest.
+        Cached: the mask is a pure function of the layout and the
+        defense's protected set.
+        """
+        if self.config.distance_mask != "obfuscated":
+            return None
+        if self._distance_include is None:
+            layout = self.global_weights.layout
+            protected = self.defense.protected_indices(layout.num_layers)
+            self._distance_include = layout.segmented().mask(
+                exclude=protected, full=True)
+        return self._distance_include
 
     def _collect(self, updates: Sequence[ClientUpdate]) -> UpdateBatch:
         """Copy the cohort's updates into the pooled dense row matrix.
@@ -291,8 +318,9 @@ class FLServer:
             aggregated = coordinate_median(batch)
         elif name == "clustered":
             diagnostics: dict = {}
-            aggregated = clustered_mean(batch, num_samples,
-                                        diagnostics=diagnostics)
+            aggregated = clustered_mean(
+                batch, num_samples, diagnostics=diagnostics,
+                distance_include=self._mask_include())
             self.last_filtered = [client_ids[i]
                                   for i in diagnostics["filtered"]]
         else:  # pragma: no cover - registry/choices kept in sync

@@ -233,6 +233,12 @@ class FederatedSimulation:
         self.defense.on_round_start(
             round_index, cohort, self.server.global_weights,
             np.random.default_rng((config.seed, 3, round_index)))
+        # Segment-plane accounting: a layer-wise defense publishes its
+        # per-segment budget schedule after resolving it against the
+        # round's layout.
+        segment_report = getattr(self.defense, "segment_report", None)
+        if segment_report is not None:
+            self.cost_meter.record_segment_budget(segment_report())
         download_bytes = dense_nbytes(self.server.global_weights)
         global_store = as_store(self.server.global_weights)
         round_state = self.defense.export_round_state()

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, softmax
-from repro.nn.store import Layout, WeightsLike, WeightStore
+from repro.nn.store import Layout, SegmentedView, WeightsLike, WeightStore
 from repro.nn.workspace import Workspace
 
 #: One dict of named arrays per parameter-carrying layer, front to back.
@@ -130,6 +130,15 @@ class Model:
         """Names of the parameter-carrying layers, front to back."""
         return [layer.name for layer in self.trainable]
 
+    def segment_view(self) -> "SegmentedView":
+        """The model's named segment plane (cached on the layout).
+
+        One :class:`~repro.nn.store.Segment` per trainable layer, named
+        from :meth:`layer_names` — the typed handle for per-layer
+        views, norms, masks and noise (see ``repro.nn.store``).
+        """
+        return self.weight_layout().segmented(tuple(self.layer_names()))
+
     def num_parameters(self) -> int:
         """Total trainable scalar count across the whole network."""
         return sum(layer.num_parameters() for layer in self.trainable)
@@ -206,11 +215,11 @@ class Model:
         next backward pass overwrites them.
         """
         self.loss_and_grad(x, y, loss)
-        layout = self.weight_layout()
+        view = self.segment_view()
         vectors = []
-        for idx in range(layout.num_layers):
-            segment = self._grad_buffer[layout.layer_param_slice(idx)]
-            vectors.append(segment.copy() if copy else segment)
+        for seg in view:
+            vector = view.view(self._grad_buffer, seg)
+            vectors.append(vector.copy() if copy else vector)
         return vectors
 
     # ------------------------------------------------------------------

@@ -49,9 +49,9 @@ class GradientCompression(Defense):
         if residual is not None:
             flat += residual
         k = max(1, int(self.keep_ratio * flat.size))
-        threshold_idx = np.argpartition(np.abs(flat), flat.size - k)
+        view = self._round_global.layout.segmented()
+        keep_idx = view.top_k_indices(flat, k)
         sparse = np.zeros_like(flat)
-        keep_idx = threshold_idx[flat.size - k:]
         sparse[keep_idx] = flat[keep_idx]
         self._residuals[client_id] = flat - sparse
         return WeightStore(self._round_global.layout,

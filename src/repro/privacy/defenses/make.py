@@ -28,4 +28,7 @@ def make_defense_for_config(name: str, config: FLConfig,
         kwargs.setdefault("rounds", config.rounds)
         kwargs.setdefault("num_clients",
                           config.clients_per_round or config.num_clients)
+    elif key == "ladp":
+        # Per-round budget split needs the planned round count.
+        kwargs.setdefault("rounds", config.rounds)
     return make_defense(name, **kwargs)

@@ -4,6 +4,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data.partition import (
     partition_dirichlet,
@@ -113,3 +115,90 @@ class TestDirichletPartition:
         labels = rng.integers(0, 2, 10)
         with pytest.raises(RuntimeError):
             partition_dirichlet(labels, 5, 0.5, rng, min_samples=10)
+
+
+# ----------------------------------------------------------------------
+# Dirichlet partition properties (hypothesis)
+# ----------------------------------------------------------------------
+
+class TestDirichletProperties:
+    """Partition invariants over the whole (n, k, clients, alpha)
+    space, including the degenerate corners the example-based tests
+    above skip: single-sample classes, empty classes, and cohorts
+    larger than the dataset."""
+
+    @given(n=st.integers(8, 200), k=st.integers(1, 6),
+           num_clients=st.integers(1, 8),
+           alpha=st.floats(0.05, 50.0),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_every_sample_assigned_exactly_once(self, n, k, num_clients,
+                                                alpha, seed):
+        labels = np.random.default_rng(seed).integers(0, k, n)
+        shards = partition_dirichlet(
+            labels, num_clients, alpha, np.random.default_rng(seed + 1),
+            min_samples=0)
+        assert len(shards) == num_clients
+        joined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(joined), np.arange(n))
+        for shard in shards:
+            assert shard.dtype == np.int64
+            np.testing.assert_array_equal(shard, np.sort(shard))
+
+    @given(seed=st.integers(0, 2**16), alpha=st.floats(0.1, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_single_sample_class_is_assigned(self, seed, alpha):
+        """A class with one sample can't be lost to floor rounding."""
+        rng = np.random.default_rng(seed)
+        labels = np.concatenate([np.zeros(40, dtype=np.int64),
+                                 np.array([1], dtype=np.int64)])
+        rng.shuffle(labels)
+        rare = int(np.flatnonzero(labels == 1)[0])
+        shards = partition_dirichlet(labels, 3, alpha,
+                                     np.random.default_rng(seed),
+                                     min_samples=0)
+        assert sum(rare in shard for shard in shards) == 1
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_missing_class_ids_are_tolerated(self, seed):
+        """num_classes > ids actually present: empty classes skip."""
+        labels = np.random.default_rng(seed).integers(0, 2, 60)
+        shards = partition_dirichlet(
+            labels, 4, 0.5, np.random.default_rng(seed),
+            num_classes=10, min_samples=0)
+        assert len(np.concatenate(shards)) == 60
+
+    def test_more_clients_than_samples(self):
+        labels = np.arange(3) % 2  # 3 samples, 5 clients
+        # alpha=inf delegates to partition_iid, which refuses outright.
+        with pytest.raises(ValueError, match="cannot cover"):
+            partition_dirichlet(labels, 5, math.inf,
+                                np.random.default_rng(0))
+        # Finite alpha with the default min_samples=1 is unsatisfiable
+        # by pigeonhole: the redraw loop exhausts and says so.
+        with pytest.raises(RuntimeError, match="100 attempts"):
+            partition_dirichlet(labels, 5, 0.5,
+                                np.random.default_rng(0))
+        # Relaxing the floor makes it legal: some clients stay empty.
+        shards = partition_dirichlet(labels, 5, 0.5,
+                                     np.random.default_rng(0),
+                                     min_samples=0)
+        assert len(shards) == 5
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(shards)), np.arange(3))
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(12, 100),
+           num_clients=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_infinite_alpha_is_exactly_iid(self, seed, n, num_clients):
+        """alpha=inf is a true delegation: identical shards to
+        partition_iid under an identically seeded generator."""
+        labels = np.random.default_rng(seed).integers(0, 4, n)
+        via_dirichlet = partition_dirichlet(
+            labels, num_clients, math.inf, np.random.default_rng(seed))
+        via_iid = partition_iid(n, num_clients,
+                                np.random.default_rng(seed))
+        assert len(via_dirichlet) == len(via_iid)
+        for a, b in zip(via_dirichlet, via_iid):
+            np.testing.assert_array_equal(a, b)
